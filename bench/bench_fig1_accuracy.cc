@@ -1,0 +1,52 @@
+// Figure 1 (a, b): accuracy of the QDWH polar decomposition vs matrix size,
+// task-based (SLATE) vs fork-join (ScaLAPACK/POLAR stand-in), on
+// ill-conditioned matrices (kappa = 1e16, double precision).
+//
+// Paper result: both series sit at ~1e-15 ("around machine precision") for
+// the orthogonality error ||I - Up^H Up||_F / sqrt(n) and the backward error
+// ||A - Up H||_F / ||A||_F. These are REAL measured runs of this library's
+// numerics, not modeled values.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tbp;
+
+int main() {
+    bench::header("Figure 1", "accuracy of SLATE-style vs ScaLAPACK-style QDWH "
+                              "(measured, kappa = 1e16, double)");
+    std::printf("%8s  %26s  %26s\n", "", "orthogonality |I-U'U|/sqrt(n)",
+                "backward error |A-UH|/|A|");
+    std::printf("%8s  %12s  %12s  %12s  %12s  %6s\n", "n", "task-based",
+                "fork-join", "task-based", "fork-join", "iters");
+
+    auto const sizes = bench::bench_sizes({64, 128, 192, 256, 384, 512});
+    for (auto n : sizes) {
+        int const nb = 32;
+        gen::MatGenOptions opt;
+        opt.cond = 1e16;
+        opt.seed = 1000 + static_cast<std::uint64_t>(n);
+
+        double orth[2], backward[2];
+        int iters = 0;
+        rt::Mode const modes[2] = {rt::Mode::TaskDataflow, rt::Mode::ForkJoin};
+        for (int mi = 0; mi < 2; ++mi) {
+            rt::Engine eng(bench::bench_threads(), modes[mi]);
+            auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+            auto Ad = ref::to_dense(A);
+            TiledMatrix<double> H(n, n, nb);
+            auto info = qdwh(eng, A, H);
+            auto acc = bench::accuracy(Ad, A, H);
+            orth[mi] = acc.orth;
+            backward[mi] = acc.backward;
+            iters = info.iterations;
+        }
+        std::printf("%8" PRId64 "  %12.3e  %12.3e  %12.3e  %12.3e  %6d\n", n,
+                    orth[0], orth[1], backward[0], backward[1], iters);
+    }
+    std::printf("\npaper: all series around 1e-15 across sizes; both "
+                "formulations numerically stable\n");
+    return 0;
+}

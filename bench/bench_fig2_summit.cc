@@ -1,0 +1,52 @@
+// Figure 2 (a, b): QDWH performance on 1 and 8 Summit nodes — SLATE-GPU vs
+// SLATE-CPU vs ScaLAPACK (POLAR), Tflop/s vs matrix size.
+//
+// These series come from the calibrated machine/cost model (this machine has
+// no GPUs — see DESIGN.md substitution table). The paper's headline numbers:
+// SLATE-GPU up to 18x over ScaLAPACK on 1 node (and 4), ~13x on 8 nodes;
+// SLATE-CPU roughly matches ScaLAPACK.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tbp;
+using namespace tbp::perf;
+
+namespace {
+
+void one_config(int nodes, std::vector<std::int64_t> const& sizes) {
+    auto const m = MachineModel::summit(nodes);
+    std::printf("\n--- %d node%s of Summit (%d POWER9 cores, %d V100 GPUs) ---\n",
+                nodes, nodes > 1 ? "s" : "", nodes * m.cpu_cores,
+                nodes * m.gpus);
+    std::printf("%9s  %12s  %12s  %12s  %9s\n", "n", "SLATE-GPU", "SLATE-CPU",
+                "ScaLAPACK", "GPU/Scal");
+    double max_speedup = 0;
+    for (auto n : sizes) {
+        if (n > m.max_n(Device::Gpu))
+            continue;  // paper: sizes limited by GPU memory footprint
+        auto gpu = qdwh_perf(m, Device::Gpu, Schedule::TaskDataflow, n, 320);
+        auto cpu = qdwh_perf(m, Device::Cpu, Schedule::TaskDataflow, n, 192);
+        auto scal = qdwh_perf(m, Device::Cpu, Schedule::ForkJoin, n, 192);
+        double const sp = gpu.tflops / scal.tflops;
+        max_speedup = std::max(max_speedup, sp);
+        std::printf("%9" PRId64 "  %9.2f TF  %9.2f TF  %9.2f TF  %8.1fx\n", n,
+                    gpu.tflops, cpu.tflops, scal.tflops, sp);
+    }
+    std::printf("max modeled speedup at %d node%s: %.1fx\n", nodes,
+                nodes > 1 ? "s" : "", max_speedup);
+}
+
+}  // namespace
+
+int main() {
+    bench::header("Figure 2", "QDWH Tflop/s on Summit, 1 and 8 nodes "
+                              "(machine-model projection)");
+    one_config(1, {5000, 10000, 15000, 20000, 25000, 30000, 34000});
+    one_config(8, {10000, 20000, 40000, 60000, 80000, 95000});
+    std::printf("\npaper: up to 18x on 1 node (Fig. 2a) and ~13x on 8 nodes "
+                "(Fig. 2b); SLATE-CPU tracks ScaLAPACK\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 4: scalability study of SLATE-QDWH (GPU) across Summit node counts.
+//
+// Paper shape: limited strong scaling at fixed n, good weak scaling at the
+// largest (memory-limited) size per node count. Model projection.
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tbp;
+using namespace tbp::perf;
+
+int main() {
+    bench::header("Figure 4", "SLATE-QDWH GPU scalability on Summit "
+                              "(machine-model projection)");
+    int const node_counts[] = {1, 2, 4, 8, 16, 32};
+    std::vector<std::int64_t> const sizes = {10000, 20000, 40000, 80000,
+                                             130000, 190000};
+
+    std::printf("%9s", "n \\ nodes");
+    for (int nodes : node_counts)
+        std::printf("  %9d", nodes);
+    std::printf("\n");
+    for (auto n : sizes) {
+        std::printf("%9" PRId64, n);
+        for (int nodes : node_counts) {
+            auto m = MachineModel::summit(nodes);
+            if (n > m.max_n(Device::Gpu)) {
+                std::printf("  %9s", "-");  // exceeds GPU memory
+                continue;
+            }
+            auto r = qdwh_perf(m, Device::Gpu, Schedule::TaskDataflow, n, 320);
+            std::printf("  %6.1f TF", r.tflops);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nweak scaling at the memory-limited size per node count:\n");
+    std::printf("%7s  %9s  %12s  %14s\n", "nodes", "max n", "Tflop/s",
+                "TF per node");
+    for (int nodes : node_counts) {
+        auto m = MachineModel::summit(nodes);
+        auto n = m.max_n(Device::Gpu);
+        auto r = qdwh_perf(m, Device::Gpu, Schedule::TaskDataflow, n, 320);
+        std::printf("%7d  %9" PRId64 "  %9.2f TF  %11.2f TF\n", nodes, n,
+                    r.tflops, r.tflops / nodes);
+    }
+
+    std::printf("\nstrong scaling at fixed n = 30000:\n");
+    std::printf("%7s  %12s  %12s\n", "nodes", "Tflop/s", "efficiency");
+    double base = 0;
+    for (int nodes : node_counts) {
+        auto m = MachineModel::summit(nodes);
+        auto r = qdwh_perf(m, Device::Gpu, Schedule::TaskDataflow, 30000, 320);
+        if (nodes == 1)
+            base = r.tflops;
+        std::printf("%7d  %9.2f TF  %10.0f%%\n", nodes, r.tflops,
+                    100.0 * r.tflops / (base * nodes));
+    }
+    std::printf("\npaper: strong scalability limited; good weak scalability "
+                "at the largest size per node count\n");
+    return 0;
+}

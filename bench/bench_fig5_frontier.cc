@@ -1,0 +1,31 @@
+// Figure 5: SLATE-QDWH on 16 nodes of Frontier (896 EPYC cores, 128 MI250X
+// GCDs), Tflop/s vs matrix size (machine-model projection).
+//
+// Paper anchors: ~180 Tflop/s at the memory-limited n = 175k; the paper
+// quotes this as ~24% of peak (its peak accounting differs from the
+// published MI250X numbers — see EXPERIMENTS.md).
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tbp;
+using namespace tbp::perf;
+
+int main() {
+    bench::header("Figure 5", "SLATE-QDWH GPU on 16 Frontier nodes "
+                              "(machine-model projection)");
+    auto const m = MachineModel::frontier(16);
+    std::printf("max n fitting GPU memory: %" PRId64
+                " (paper: 175k memory-limited)\n\n",
+                m.max_n(Device::Gpu));
+    std::printf("%9s  %12s  %16s\n", "n", "SLATE-GPU", "of model dgemm-peak");
+    for (std::int64_t n : {20000, 40000, 80000, 120000, 150000, 175000}) {
+        auto r = qdwh_perf(m, Device::Gpu, Schedule::TaskDataflow, n, 320);
+        std::printf("%9" PRId64 "  %9.2f TF  %15.1f%%\n", n, r.tflops,
+                    100.0 * r.tflops * 1e3 / m.total_gflops(Device::Gpu));
+    }
+    std::printf("\npaper: ~180 Tflop/s at n = 175k on 128 GCDs\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Section 4 in-text claims: iteration counts vs condition number (measured).
+//
+//   "the upper-bound for the number of iterations is six, assuming double
+//    precision arithmetic. Experimentally, testing ill-conditioned matrices
+//    requires three QR and three Cholesky-based iterations, while
+//    well-conditioned matrices need two Cholesky-based and no QR-based
+//    iterations."
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace tbp;
+
+int main() {
+    bench::header("Section 4", "QDWH iteration counts vs condition number "
+                               "(measured, double, n = 256)");
+    std::printf("%10s  %6s  %6s  %6s  %12s  %12s\n", "kappa", "total", "QR",
+                "Chol", "orth err", "bwd err");
+
+    std::int64_t const n = 256;
+    int const nb = 32;
+    for (double kappa : {1.0, 1e2, 1e4, 1e8, 1e12, 1e16}) {
+        rt::Engine eng(bench::bench_threads());
+        gen::MatGenOptions opt;
+        opt.cond = kappa;
+        opt.seed = 2000;
+        auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+        auto Ad = ref::to_dense(A);
+        TiledMatrix<double> H(n, n, nb);
+        auto info = qdwh(eng, A, H);
+        auto acc = bench::accuracy(Ad, A, H);
+        std::printf("%10.0e  %6d  %6d  %6d  %12.3e  %12.3e\n", kappa,
+                    info.iterations, info.it_qr, info.it_chol, acc.orth,
+                    acc.backward);
+    }
+
+    // The paper's exact well-conditioned claim holds with the exact
+    // sigma_min bound supplied (the QR+trcondest estimate is conservative
+    // and may add one iteration).
+    {
+        rt::Engine eng(bench::bench_threads());
+        gen::MatGenOptions opt;
+        opt.cond = 1.01;
+        opt.seed = 2001;
+        auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+        TiledMatrix<double> H(n, n, nb);
+        QdwhOptions o;
+        o.condest_override = 1.0 / opt.cond;
+        auto info = qdwh(eng, A, H, o);
+        std::printf("\nwell-conditioned (kappa=1.01, exact bound): %d QR + %d "
+                    "Cholesky iterations\n",
+                    info.it_qr, info.it_chol);
+    }
+    std::printf("paper: <= 6 iterations in double; ill-conditioned -> 3 QR + "
+                "3 Cholesky; well-conditioned -> 0 QR + 2 Cholesky\n");
+    return 0;
+}

@@ -1,0 +1,135 @@
+// Real wall-clock microbenchmarks (google-benchmark) of this library on the
+// host CPU: QDWH under the three execution modes, its building blocks, and
+// the dense baselines. This is the measured-hardware supplement to the
+// modeled figures (see DESIGN.md experiment index).
+
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hh"
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/potrf.hh"
+#include "ref/dense.hh"
+
+using namespace tbp;
+
+namespace {
+
+int threads() {
+    if (char const* env = std::getenv("TBP_THREADS"))
+        return std::atoi(env);
+    return 3;
+}
+
+rt::Mode mode_of(int m) {
+    switch (m) {
+        case 0: return rt::Mode::Sequential;
+        case 1: return rt::Mode::TaskDataflow;
+        default: return rt::Mode::ForkJoin;
+    }
+}
+
+char const* mode_name(int m) {
+    switch (m) {
+        case 0: return "seq";
+        case 1: return "task";
+        default: return "forkjoin";
+    }
+}
+
+void BM_Qdwh(benchmark::State& state) {
+    std::int64_t const n = state.range(0);
+    int const nb = 32;
+    rt::Mode const mode = mode_of(static_cast<int>(state.range(1)));
+    rt::Engine eng(threads(), mode);
+    gen::MatGenOptions opt;
+    opt.cond = 1e8;
+    opt.seed = 5000;
+    auto A0 = gen::cond_matrix<double>(eng, n, n, nb, opt);
+
+    double flops = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto A = A0.clone();
+        TiledMatrix<double> H(n, n, nb);
+        state.ResumeTiming();
+        auto info = qdwh(eng, A, H);
+        flops = info.flops;
+    }
+    state.counters["Gflop/s"] = benchmark::Counter(
+        flops * static_cast<double>(state.iterations()) / 1e9,
+        benchmark::Counter::kIsRate);
+    state.SetLabel(mode_name(static_cast<int>(state.range(1))));
+}
+
+void BM_Geqrf(benchmark::State& state) {
+    std::int64_t const n = state.range(0);
+    int const nb = 32;
+    rt::Engine eng(threads());
+    TiledMatrix<double> A0(2 * n, n, nb);
+    gen::fill_gaussian(eng, A0, 6000);
+    eng.wait();
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto A = A0.clone();
+        auto Tm = la::alloc_qr_t(A);
+        state.ResumeTiming();
+        la::geqrf(eng, A, Tm);
+        eng.wait();
+    }
+}
+
+void BM_Potrf(benchmark::State& state) {
+    std::int64_t const n = state.range(0);
+    int const nb = 32;
+    rt::Engine eng(threads());
+    auto A0 = gen::hpd_matrix<double>(eng, n, nb, 6001);
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto A = A0.clone();
+        state.ResumeTiming();
+        la::potrf(eng, Uplo::Lower, A);
+        eng.wait();
+    }
+}
+
+void BM_NewtonPolar(benchmark::State& state) {
+    std::int64_t const n = state.range(0);
+    rt::Engine eng(threads());
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;
+    opt.seed = 6002;
+    auto A = ref::to_dense(gen::cond_matrix<double>(eng, n, n, 32, opt));
+    for (auto _ : state) {
+        ref::Dense<double> U, H;
+        newton_polar(A, U, H);
+        benchmark::DoNotOptimize(U.data());
+    }
+}
+
+void BM_SvdPolar(benchmark::State& state) {
+    std::int64_t const n = state.range(0);
+    rt::Engine eng(threads());
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;
+    opt.seed = 6003;
+    auto A = ref::to_dense(gen::cond_matrix<double>(eng, n, n, 32, opt));
+    for (auto _ : state) {
+        ref::Dense<double> U, H;
+        svd_polar(A, U, H);
+        benchmark::DoNotOptimize(U.data());
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Qdwh)
+    ->ArgsProduct({{128, 256}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Geqrf)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Potrf)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NewtonPolar)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SvdPolar)->Arg(128)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

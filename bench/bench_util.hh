@@ -1,0 +1,67 @@
+// Shared helpers for the figure-reproduction benches.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "perf/qdwh_model.hh"
+#include "ref/dense.hh"
+
+namespace tbp::bench {
+
+inline void header(char const* fig, char const* title) {
+    std::printf("\n=======================================================================\n");
+    std::printf("%s — %s\n", fig, title);
+    std::printf("=======================================================================\n");
+}
+
+/// Paper accuracy metrics for a completed polar decomposition.
+struct Accuracy {
+    double orth;      ///< ||I - U^H U||_F / sqrt(n)
+    double backward;  ///< ||A - U H||_F / ||A||_F
+};
+
+template <typename T>
+Accuracy accuracy(ref::Dense<T> const& A, TiledMatrix<T> const& U,
+                  TiledMatrix<T> const& H) {
+    auto Ud = ref::to_dense(U);
+    auto Hd = ref::to_dense(H);
+    Accuracy a;
+    a.orth = ref::orthogonality(Ud) / std::sqrt(static_cast<double>(Ud.n()));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Ud, Hd);
+    a.backward = ref::diff_fro(UH, A) / ref::norm_fro(A);
+    return a;
+}
+
+/// Threads for real-execution benches (1-core machines still want a few for
+/// the dataflow scheduler to exercise).
+inline int bench_threads() {
+    if (char const* env = std::getenv("TBP_THREADS"))
+        return std::atoi(env);
+    return 3;
+}
+
+/// Sizes for real-execution benches; override with TBP_SIZES="64,128".
+inline std::vector<std::int64_t> bench_sizes(std::vector<std::int64_t> dflt) {
+    char const* env = std::getenv("TBP_SIZES");
+    if (!env)
+        return dflt;
+    std::vector<std::int64_t> out;
+    std::string s(env);
+    size_t pos = 0;
+    while (pos < s.size()) {
+        size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        out.push_back(std::atoll(s.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+}  // namespace tbp::bench

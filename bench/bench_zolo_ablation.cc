@@ -1,0 +1,66 @@
+// Section 8 (future work) ablation: Zolo-PD vs QDWH (measured numerics +
+// concurrency accounting).
+//
+// The paper motivates Zolo-PD as "requiring an even higher number of flops
+// than QDWH-based PD, but able to exploit a higher level of concurrency,
+// making it attractive in the strong-scaling regime". This bench measures
+// both algorithms on identical ill-conditioned inputs and reports accuracy,
+// iterations, measured flops, and the number of *independent* factorization
+// chains per iteration (QDWH: 1; Zolo: r).
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/zolopd.hh"
+
+using namespace tbp;
+
+int main() {
+    bench::header("Section 8", "Zolo-PD vs QDWH ablation (measured, double, "
+                               "kappa = 1e14, n = 192)");
+    std::int64_t const n = 192;
+    int const nb = 32;
+    gen::MatGenOptions opt;
+    opt.cond = 1e14;
+    opt.seed = 9000;
+
+    std::printf("%14s  %5s  %6s  %12s  %12s  %10s  %10s\n", "algorithm",
+                "iters", "indep", "orth err", "bwd err", "flops", "flops/QDWH");
+
+    double qdwh_flops = 0;
+    {
+        rt::Engine eng(bench::bench_threads());
+        auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+        auto Ad = ref::to_dense(A);
+        TiledMatrix<double> H(n, n, nb);
+        eng.reset_stats();
+        auto info = qdwh(eng, A, H);
+        auto acc = bench::accuracy(Ad, A, H);
+        qdwh_flops = info.flops;
+        std::printf("%14s  %5d  %6d  %12.3e  %12.3e  %10.2e  %10.2f\n", "QDWH",
+                    info.iterations, 1, acc.orth, acc.backward, info.flops,
+                    1.0);
+    }
+    for (int r : {2, 4, 8}) {
+        rt::Engine eng(bench::bench_threads());
+        auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+        auto Ad = ref::to_dense(A);
+        TiledMatrix<double> H(n, n, nb);
+        eng.reset_stats();
+        ZoloOptions o;
+        o.r = r;
+        auto info = zolo_pd(eng, A, H, o);
+        auto acc = bench::accuracy(Ad, A, H);
+        char name[32];
+        std::snprintf(name, sizeof name, "Zolo-PD r=%d", r);
+        std::printf("%14s  %5d  %6d  %12.3e  %12.3e  %10.2e  %10.2f\n", name,
+                    info.iterations, r, acc.orth, acc.backward, info.flops,
+                    info.flops / qdwh_flops);
+    }
+    std::printf("\npaper (Section 8): Zolo-PD costs more flops but exposes r "
+                "independent factorizations per iteration — the\n"
+                "strong-scaling trade QDWH cannot make. Accuracy stays at "
+                "machine precision for both.\n");
+    return 0;
+}

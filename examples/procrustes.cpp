@@ -1,0 +1,71 @@
+// Orthogonal Procrustes problem (paper Section 1, ref. [35] Schönemann
+// 1966 — the factor-analysis application of the polar decomposition).
+//
+// Given two observation matrices X, Y in R^{N x d} related by an unknown
+// orthogonal transform Omega plus noise (Y ~ X Omega + noise), the
+// least-squares orthogonal aligner
+//
+//   Omega* = argmin_{Q^T Q = I} ||X Q - Y||_F
+//
+// is the polar factor of M = X^H Y. This example aligns two synthetic
+// d-dimensional embedding spaces and reports the alignment residual.
+
+#include <cstdio>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "linalg/gemm.hh"
+#include "ref/dense.hh"
+
+using namespace tbp;
+
+int main() {
+    std::int64_t const N = 2000;  // observations
+    std::int64_t const d = 96;    // embedding dimension
+    int const nb = 32;
+    rt::Engine engine(4);
+
+    // Ground-truth orthogonal transform and data.
+    auto Omega_true = gen::random_orthonormal<double>(engine, d, d, nb, 7);
+    auto Ot = ref::to_dense(Omega_true);
+    auto X = ref::random_dense<double>(N, d, 8);
+
+    // Y = X Omega + noise.
+    auto Y = ref::gemm(Op::NoTrans, Op::NoTrans, 1.0, X, Ot);
+    auto noise = ref::random_dense<double>(N, d, 9);
+    for (std::int64_t j = 0; j < d; ++j)
+        for (std::int64_t i = 0; i < N; ++i)
+            Y(i, j) += 1e-2 * noise(i, j);
+
+    // M = X^H Y (d x d), via the tiled task-parallel gemm.
+    auto Xt = ref::to_tiled(X, nb);
+    auto Yt = ref::to_tiled(Y, nb);
+    TiledMatrix<double> M(d, d, nb);
+    la::gemm(engine, Op::ConjTrans, Op::NoTrans, 1.0, Xt, Yt, 0.0, M);
+    engine.wait();
+
+    // Omega* = polar factor of M.
+    TiledMatrix<double> H(d, d, nb);
+    auto info = qdwh(engine, M, H);
+    auto Omega = ref::to_dense(M);
+
+    // Report: residual with the estimated aligner vs truth vs identity.
+    auto residual = [&](ref::Dense<double> const& Q) {
+        auto XQ = ref::gemm(Op::NoTrans, Op::NoTrans, 1.0, X, Q);
+        return ref::diff_fro(XQ, Y) / ref::norm_fro(Y);
+    };
+    std::printf("orthogonal Procrustes alignment (N = %lld points, d = %lld)\n",
+                static_cast<long long>(N), static_cast<long long>(d));
+    std::printf("  ||X Q - Y||/||Y||  with Q = Omega*   : %.4e\n",
+                residual(Omega));
+    std::printf("  ||X Q - Y||/||Y||  with Q = truth    : %.4e\n",
+                residual(Ot));
+    std::printf("  ||X Q - Y||/||Y||  with Q = identity : %.4e\n",
+                residual(ref::identity<double>(d)));
+    std::printf("  ||Omega* - truth||_F                 : %.4e\n",
+                ref::diff_fro(Omega, Ot));
+    std::printf("  QDWH iterations: %d\n", info.iterations);
+    std::printf("(the estimated aligner matches the oracle residual — the "
+                "polar factor is the optimal orthogonal alignment)\n");
+    return 0;
+}

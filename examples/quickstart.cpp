@@ -1,0 +1,59 @@
+// Quickstart: compute a polar decomposition A = U_p H with TBP.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The three ingredients:
+//   1. an Engine — the task runtime (TaskDataflow = SLATE-style asynchronous
+//      execution; ForkJoin = ScaLAPACK-style bulk-synchronous);
+//   2. a TiledMatrix — your data, tiled for the task scheduler;
+//   3. qdwh() — Algorithm 1 of the paper: A is overwritten by the
+//      orthogonal factor U_p, H receives the Hermitian PSD factor.
+
+#include <cstdio>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "ref/dense.hh"
+
+using namespace tbp;
+
+int main() {
+    std::int64_t const n = 300;
+    int const nb = 32;  // tile size (paper: 320 on GPUs, 192 on CPUs)
+
+    // 1. Task runtime.
+    rt::Engine engine(4, rt::Mode::TaskDataflow);
+
+    // 2. An ill-conditioned test matrix A = U Sigma V^H (paper Section 7.1).
+    gen::MatGenOptions opt;
+    opt.cond = 1e12;
+    opt.seed = 1;
+    TiledMatrix<double> A = gen::cond_matrix<double>(engine, n, n, nb, opt);
+    auto A_original = ref::to_dense(A);  // keep a copy for verification
+
+    // 3. Polar decomposition: A := U_p, H := sqrt(A^H A).
+    TiledMatrix<double> H(n, n, nb);
+    QdwhInfo info = qdwh(engine, A, H);
+
+    std::printf("QDWH polar decomposition of a %lld x %lld matrix\n",
+                static_cast<long long>(n), static_cast<long long>(n));
+    std::printf("  iterations        : %d  (%d QR-based + %d Cholesky-based)\n",
+                info.iterations, info.it_qr, info.it_chol);
+    std::printf("  ||A||_2 estimate  : %.6f\n", info.norm2_estimate);
+    std::printf("  flops executed    : %.3e\n", info.flops);
+
+    // Verify the paper's two accuracy metrics.
+    auto U = ref::to_dense(A);
+    auto Hd = ref::to_dense(H);
+    double const orth =
+        ref::orthogonality(U) / std::sqrt(static_cast<double>(n));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, 1.0, U, Hd);
+    double const backward =
+        ref::diff_fro(UH, A_original) / ref::norm_fro(A_original);
+    std::printf("  ||I - U'U||_F/sqrt(n) : %.3e\n", orth);
+    std::printf("  ||A - U H||_F/||A||_F : %.3e\n", backward);
+    std::printf("(both should be near machine epsilon ~ 1e-16)\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Partial-spectrum extraction via the polar decomposition — the
+// "light-weight polar decomposition" application of the paper's
+// introduction (refs [26], [36]: extracting the most significant
+// eigen/singular pairs, e.g. for extreme adaptive optics).
+//
+// We build a Hermitian "covariance" matrix whose spectrum has a handful of
+// strong modes above a noise floor, then use one QDWH polar step to obtain
+// the spectral projector above a threshold and extract an orthonormal basis
+// of the dominant invariant subspace — without ever computing the full
+// eigendecomposition.
+
+#include <cstdio>
+
+#include "core/subspace.hh"
+#include "gen/matgen.hh"
+#include "ref/dense.hh"
+#include "ref/jacobi.hh"
+
+using namespace tbp;
+
+int main() {
+    int const n = 160, nb = 32;
+    int const n_strong = 12;       // strong modes
+    double const noise_ceil = 0.5; // noise eigenvalues below this
+    double const threshold = 1.0;  // slice point
+    rt::Engine engine(4);
+
+    // Spectrum: n_strong modes in [2, 8], the rest in (0, noise_ceil).
+    std::vector<double> lam(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        if (i >= n - n_strong)
+            lam[static_cast<size_t>(i)] =
+                2.0 + 6.0 * (i - (n - n_strong)) / double(n_strong - 1);
+        else
+            lam[static_cast<size_t>(i)] = noise_ceil * (i + 1) / double(n);
+    }
+    auto Q = gen::random_orthonormal<double>(engine, n, n, nb, 21);
+    auto Qd = ref::to_dense(Q);
+    auto QL = Qd;
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+            QL(i, j) *= lam[static_cast<size_t>(j)];
+    auto Cd = ref::gemm(Op::NoTrans, Op::ConjTrans, 1.0, QL, Qd);
+    auto C = ref::to_tiled(Cd, nb);
+
+    // One polar step -> spectral projector above `threshold` -> basis.
+    auto res = qdwh_subspace<double>(engine, C, threshold);
+
+    std::printf("spectrum slicing on a %d x %d Hermitian matrix\n", n, n);
+    std::printf("  strong modes planted     : %d (eigenvalues in [2, 8])\n",
+                n_strong);
+    std::printf("  slice threshold          : %.2f\n", threshold);
+    std::printf("  subspace dimension found : %lld\n",
+                static_cast<long long>(res.dim));
+    std::printf("  QDWH iterations          : %d\n",
+                res.polar_info.iterations);
+
+    // Quality: the basis must capture all strong energy of C.
+    auto B = ref::to_dense(res.basis);
+    std::printf("  basis orthogonality      : %.3e\n", ref::orthogonality(B));
+    // Rayleigh-Ritz eigenvalues on the subspace = the strong modes.
+    auto CB = ref::gemm(Op::NoTrans, Op::NoTrans, 1.0, Cd, B);
+    auto S = ref::gemm(Op::ConjTrans, Op::NoTrans, 1.0, B, CB);
+    std::vector<double> mu;
+    ref::Dense<double> V;
+    ref::jacobi_eig(S, mu, V);
+    std::printf("  recovered mode range     : [%.4f, %.4f] (planted [2, 8])\n",
+                mu.front(), mu.back());
+    std::printf("(cost: one polar decomposition + a k-column QR — no full "
+                "eigendecomposition)\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Aerospace application (paper Section 1, ref. [5] Bar-Itzhack 1975):
+// optimal orthogonalization of a strapdown attitude matrix.
+//
+// A strapdown inertial navigation system integrates gyro rates into a
+// direction-cosine matrix. Numerical integration drift makes the matrix
+// slowly lose orthogonality; the *optimal* (Frobenius-nearest) orthogonal
+// repair is exactly the polar factor U_p of the drifted matrix. This example
+// simulates an n-dimensional generalization (a bank of coupled sensor
+// frames), drifts it with integration noise, re-orthogonalizes with QDWH,
+// and shows that:
+//   - the repaired matrix is orthogonal to machine precision, and
+//   - it is closer to the true attitude than the drifted one.
+
+#include <cstdio>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "ref/dense.hh"
+
+using namespace tbp;
+
+int main() {
+    std::int64_t const n = 240;
+    int const nb = 32;
+    rt::Engine engine(4);
+
+    // True attitude: a random orthogonal matrix.
+    auto Q_true = gen::random_orthonormal<double>(engine, n, n, nb, 42);
+    auto Qd = ref::to_dense(Q_true);
+
+    // Simulated integration drift: Q_drift = Q (I + E) with small skew-ish
+    // noise E — the matrix is no longer orthogonal.
+    double const drift = 1e-3;
+    auto E = ref::random_dense<double>(n, n, 43);
+    auto Q_drift = Qd;
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < n; ++i) {
+            double acc = 0;
+            for (std::int64_t k = 0; k < n; ++k)
+                acc += Qd(i, k) * E(k, j);
+            Q_drift(i, j) += drift * acc / std::sqrt(static_cast<double>(n));
+        }
+
+    double const orth_before =
+        ref::orthogonality(Q_drift) / std::sqrt(static_cast<double>(n));
+    double const dist_before = ref::diff_fro(Q_drift, Qd);
+
+    // Optimal orthogonalization = polar factor of the drifted matrix.
+    auto A = ref::to_tiled(Q_drift, nb);
+    TiledMatrix<double> H(n, n, nb);
+    QdwhOptions opts;
+    auto info = qdwh(engine, A, H, opts);
+    auto Q_fixed = ref::to_dense(A);
+
+    double const orth_after =
+        ref::orthogonality(Q_fixed) / std::sqrt(static_cast<double>(n));
+    double const dist_after = ref::diff_fro(Q_fixed, Qd);
+
+    std::printf("strapdown attitude re-orthogonalization (n = %lld)\n",
+                static_cast<long long>(n));
+    std::printf("  orthogonality error before : %.3e\n", orth_before);
+    std::printf("  orthogonality error after  : %.3e\n", orth_after);
+    std::printf("  distance to true attitude  : %.3e -> %.3e\n", dist_before,
+                dist_after);
+    std::printf("  QDWH iterations            : %d (%d QR + %d Cholesky)\n",
+                info.iterations, info.it_qr, info.it_chol);
+    std::printf("(a nearly-orthogonal input converges in ~2 Cholesky "
+                "iterations — the paper's well-conditioned case)\n");
+    return 0;
+}

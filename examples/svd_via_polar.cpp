@@ -1,0 +1,64 @@
+// SVD through the polar decomposition (paper Sections 1 and 3, the
+// Higham–Papadimitriou framework):
+//
+//   A = U_p H  (QDWH),   H = V Lambda V^H  (Hermitian EVD)
+//   =>  A = (U_p V) Lambda V^H = U Sigma V^H.
+//
+// This is the route the paper positions QDWH as a pre-processing step for:
+// the expensive O(n^3) iterations are all communication-friendly QDWH
+// kernels, and only the (structured, PSD) H reaches the eigensolver.
+
+#include <cstdio>
+
+#include "core/qdwh_svd.hh"
+#include "gen/matgen.hh"
+#include "ref/dense.hh"
+
+using namespace tbp;
+
+int main() {
+    std::int64_t const m = 500, n = 120;
+    int const nb = 32;
+    rt::Engine engine(4);
+
+    // Test matrix with known singular values (geometric, kappa = 1e10).
+    gen::MatGenOptions opt;
+    opt.cond = 1e10;
+    opt.seed = 11;
+    auto A = gen::cond_matrix<double>(engine, m, n, nb, opt);
+    auto Ad = ref::to_dense(A);
+    auto sigma_true = gen::sigma_values<double>(n, opt);
+
+    auto svd = qdwh_svd(engine, A, {});
+
+    // Largest relative error over the leading singular values.
+    double worst = 0;
+    for (int i = 0; i < 10; ++i) {
+        double const rel = std::abs(svd.sigma[static_cast<size_t>(i)]
+                                    - sigma_true[static_cast<size_t>(i)])
+                           / sigma_true[static_cast<size_t>(i)];
+        worst = std::max(worst, rel);
+    }
+
+    // Reconstruction residual ||A - U Sigma V^H|| / ||A||.
+    auto Us = svd.U;
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < m; ++i)
+            Us(i, j) *= svd.sigma[static_cast<size_t>(j)];
+    auto R = ref::gemm(Op::NoTrans, Op::ConjTrans, 1.0, Us, svd.V);
+    double const resid = ref::diff_fro(R, Ad) / ref::norm_fro(Ad);
+
+    std::printf("SVD via polar decomposition (%lld x %lld, kappa = 1e10)\n",
+                static_cast<long long>(m), static_cast<long long>(n));
+    std::printf("  QDWH iterations                  : %d (%d QR + %d Chol)\n",
+                svd.polar_info.iterations, svd.polar_info.it_qr,
+                svd.polar_info.it_chol);
+    std::printf("  sigma_1 (true 1.0)               : %.12f\n", svd.sigma[0]);
+    std::printf("  max rel. error, 10 leading sigma : %.3e\n", worst);
+    std::printf("  ||A - U S V'||/||A||             : %.3e\n", resid);
+    std::printf("  ||I - U'U||_F                    : %.3e\n",
+                ref::orthogonality(svd.U));
+    std::printf("  ||I - V'V||_F                    : %.3e\n",
+                ref::orthogonality(svd.V));
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Sequential tile-level Cholesky factorization.
+
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/types.hh"
+#include "matrix/tile.hh"
+
+namespace tbp::blas {
+
+/// Cholesky factorization of a Hermitian positive definite tile:
+///   uplo == Lower: A = L * L^H, L overwrites the lower triangle.
+///   uplo == Upper: A = U^H * U, U overwrites the upper triangle.
+/// Throws tbp::Error if a non-positive pivot is met (matrix not HPD), as
+/// xPOTRF reports via info > 0; QDWH relies on this signal never firing once
+/// the iterate is well-conditioned.
+template <typename T>
+void potrf(Uplo uplo, Tile<T> const& A) {
+    using R = real_t<T>;
+    int const n = A.mb();
+    tbp_require(A.nb() == n);
+
+    if (uplo == Uplo::Lower) {
+        for (int j = 0; j < n; ++j) {
+            R djj = real_part(A(j, j));
+            for (int k = 0; k < j; ++k)
+                djj -= abs_sq(A(j, k));
+            if (!(djj > R(0)))
+                tbp_throw("potrf: matrix is not positive definite");
+            R const ljj = std::sqrt(djj);
+            A(j, j) = from_real<T>(ljj);
+            for (int i = j + 1; i < n; ++i) {
+                T x = A(i, j);
+                for (int k = 0; k < j; ++k)
+                    x -= A(i, k) * conj_val(A(j, k));
+                A(i, j) = x / from_real<T>(ljj);
+            }
+        }
+    } else {
+        for (int j = 0; j < n; ++j) {
+            R djj = real_part(A(j, j));
+            for (int k = 0; k < j; ++k)
+                djj -= abs_sq(A(k, j));
+            if (!(djj > R(0)))
+                tbp_throw("potrf: matrix is not positive definite");
+            R const ujj = std::sqrt(djj);
+            A(j, j) = from_real<T>(ujj);
+            for (int i = j + 1; i < n; ++i) {
+                T x = A(j, i);
+                for (int k = 0; k < j; ++k)
+                    x -= conj_val(A(k, j)) * A(k, i);
+                A(j, i) = x / from_real<T>(ujj);
+            }
+        }
+    }
+}
+
+}  // namespace tbp::blas

@@ -1,0 +1,106 @@
+// Sequential tile-level GEMM.
+//
+// C := alpha * op(A) * op(B) + beta * C, with C m-by-n, op(A) m-by-k,
+// op(B) k-by-n. This is the workhorse kernel every tiled algorithm calls per
+// tile; the library has no vendor BLAS, so the kernel is written for decent
+// cache behaviour in the common NoTrans x {NoTrans, ConjTrans} cases used by
+// the QDWH building blocks.
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hh"
+#include "matrix/tile.hh"
+
+namespace tbp::blas {
+
+template <typename T>
+void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
+          T beta, Tile<T> const& C) {
+    int const m = C.mb();
+    int const n = C.nb();
+    int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
+
+    tbp_require(((opA == Op::NoTrans) ? A.mb() : A.nb()) == m);
+    tbp_require(((opB == Op::NoTrans) ? B.mb() : B.nb()) == k);
+    tbp_require(((opB == Op::NoTrans) ? B.nb() : B.mb()) == n);
+
+    // Scale C by beta first so the accumulation loops are uniform.
+    if (beta != T(1)) {
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i < m; ++i)
+                C(i, j) = (beta == T(0)) ? T(0) : beta * C(i, j);
+    }
+    if (alpha == T(0) || k == 0)
+        return;
+
+    if (opA == Op::NoTrans && opB == Op::NoTrans) {
+        // jli order: stream down columns of C and A.
+        for (int j = 0; j < n; ++j) {
+            for (int l = 0; l < k; ++l) {
+                T const blj = alpha * B(l, j);
+                if (blj == T(0))
+                    continue;
+                for (int i = 0; i < m; ++i)
+                    C(i, j) += A(i, l) * blj;
+            }
+        }
+    } else if (opA == Op::NoTrans) {
+        // B accessed as op(B)(l, j) = op(B(j, l)).
+        for (int j = 0; j < n; ++j) {
+            for (int l = 0; l < k; ++l) {
+                T const blj = alpha * apply_op(opB, B(j, l));
+                if (blj == T(0))
+                    continue;
+                for (int i = 0; i < m; ++i)
+                    C(i, j) += A(i, l) * blj;
+            }
+        }
+    } else if (opB == Op::NoTrans) {
+        // op(A)(i, l) = op(A(l, i)): dot products down columns of A and B.
+        for (int j = 0; j < n; ++j) {
+            for (int i = 0; i < m; ++i) {
+                T sum(0);
+                for (int l = 0; l < k; ++l)
+                    sum += apply_op(opA, A(l, i)) * B(l, j);
+                C(i, j) += alpha * sum;
+            }
+        }
+    } else {
+        for (int j = 0; j < n; ++j) {
+            for (int i = 0; i < m; ++i) {
+                T sum(0);
+                for (int l = 0; l < k; ++l)
+                    sum += apply_op(opA, A(l, i)) * apply_op(opB, B(j, l));
+                C(i, j) += alpha * sum;
+            }
+        }
+    }
+}
+
+/// Matrix-vector style product used by gemmA reductions: y := alpha op(A) x
+/// + beta y, where x, y are dense column tiles (nb == 1 allowed but general).
+template <typename T>
+void gemv(Op opA, T alpha, Tile<T> const& A, T const* x, T beta, T* y) {
+    int const m = (opA == Op::NoTrans) ? A.mb() : A.nb();
+    int const n = (opA == Op::NoTrans) ? A.nb() : A.mb();
+    for (int i = 0; i < m; ++i)
+        y[i] = (beta == T(0)) ? T(0) : beta * y[i];
+    if (opA == Op::NoTrans) {
+        for (int j = 0; j < n; ++j) {
+            T const xj = alpha * x[j];
+            for (int i = 0; i < m; ++i)
+                y[i] += A(i, j) * xj;
+        }
+    } else {
+        for (int i = 0; i < m; ++i) {
+            T sum(0);
+            for (int j = 0; j < n; ++j)
+                sum += apply_op(opA, A(j, i)) * x[j];
+            y[i] += alpha * sum;
+        }
+    }
+}
+
+}  // namespace tbp::blas

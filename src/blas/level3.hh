@@ -1,0 +1,161 @@
+// Sequential tile-level triangular and rank-k kernels: herk/syrk, trsm, trmm.
+//
+// Conventions follow BLAS: only the `uplo` triangle of Hermitian results is
+// referenced, triangular solves overwrite the right-hand side, and `Diag`
+// selects an implicit unit diagonal.
+
+#pragma once
+
+#include "common/types.hh"
+#include "matrix/tile.hh"
+
+namespace tbp::blas {
+
+/// Hermitian rank-k update.
+///   op == NoTrans:   C := alpha * A * A^H + beta * C,  A n-by-k
+///   op == ConjTrans: C := alpha * A^H * A + beta * C,  A k-by-n
+/// alpha, beta are real; for real T this is syrk.
+template <typename T>
+void herk(Uplo uplo, Op op, real_t<T> alpha, Tile<T> const& A,
+          real_t<T> beta, Tile<T> const& C) {
+    int const n = C.mb();
+    tbp_require(C.nb() == n);
+    int const k = (op == Op::NoTrans) ? A.nb() : A.mb();
+    tbp_require(((op == Op::NoTrans) ? A.mb() : A.nb()) == n);
+
+    auto a = [&](int i, int l) -> T {
+        return (op == Op::NoTrans) ? A(i, l) : conj_val(A(l, i));
+    };
+
+    for (int j = 0; j < n; ++j) {
+        int const ilo = (uplo == Uplo::Lower) ? j : 0;
+        int const ihi = (uplo == Uplo::Lower) ? n : j + 1;
+        for (int i = ilo; i < ihi; ++i) {
+            T sum(0);
+            for (int l = 0; l < k; ++l)
+                sum += a(i, l) * conj_val(a(j, l));
+            T c0 = (beta == real_t<T>(0)) ? T(0) : from_real<T>(beta) * C(i, j);
+            C(i, j) = c0 + from_real<T>(alpha) * sum;
+            if (i == j) {
+                // Force an exactly real diagonal, as zherk does.
+                C(i, j) = from_real<T>(real_part(C(i, j)));
+            }
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides.
+///   side == Left:  solve op(A) * X = alpha * B,  A m-by-m, B m-by-n
+///   side == Right: solve X * op(A) = alpha * B,  A n-by-n, B m-by-n
+/// X overwrites B.
+template <typename T>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha,
+          Tile<T> const& A, Tile<T> const& B) {
+    int const m = B.mb();
+    int const n = B.nb();
+    int const na = (side == Side::Left) ? m : n;
+    tbp_require(A.mb() == na && A.nb() == na);
+
+    // Element of op(A).
+    auto a = [&](int i, int j) -> T {
+        return (op == Op::NoTrans) ? A(i, j) : apply_op(op, A(j, i));
+    };
+    // Is op(A) effectively upper triangular?
+    bool const eff_upper = (uplo == Uplo::Upper) == (op == Op::NoTrans);
+
+    if (alpha != T(1)) {
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i < m; ++i)
+                B(i, j) = (alpha == T(0)) ? T(0) : alpha * B(i, j);
+    }
+
+    if (side == Side::Left) {
+        for (int j = 0; j < n; ++j) {
+            if (!eff_upper) {
+                for (int i = 0; i < m; ++i) {
+                    T x = B(i, j);
+                    for (int l = 0; l < i; ++l)
+                        x -= a(i, l) * B(l, j);
+                    B(i, j) = (diag == Diag::Unit) ? x : x / a(i, i);
+                }
+            } else {
+                for (int i = m - 1; i >= 0; --i) {
+                    T x = B(i, j);
+                    for (int l = i + 1; l < m; ++l)
+                        x -= a(i, l) * B(l, j);
+                    B(i, j) = (diag == Diag::Unit) ? x : x / a(i, i);
+                }
+            }
+        }
+    } else {
+        // X * op(A) = B: column j of B couples X columns l with a(l, j) != 0.
+        if (eff_upper) {
+            for (int j = 0; j < n; ++j) {
+                for (int l = 0; l < j; ++l) {
+                    T const alj = a(l, j);
+                    if (alj == T(0))
+                        continue;
+                    for (int i = 0; i < m; ++i)
+                        B(i, j) -= B(i, l) * alj;
+                }
+                if (diag == Diag::NonUnit) {
+                    T const d = a(j, j);
+                    for (int i = 0; i < m; ++i)
+                        B(i, j) /= d;
+                }
+            }
+        } else {
+            for (int j = n - 1; j >= 0; --j) {
+                for (int l = j + 1; l < n; ++l) {
+                    T const alj = a(l, j);
+                    if (alj == T(0))
+                        continue;
+                    for (int i = 0; i < m; ++i)
+                        B(i, j) -= B(i, l) * alj;
+                }
+                if (diag == Diag::NonUnit) {
+                    T const d = a(j, j);
+                    for (int i = 0; i < m; ++i)
+                        B(i, j) /= d;
+                }
+            }
+        }
+    }
+}
+
+/// Triangular matrix-matrix multiply, left side only (all TBP call sites):
+///   B := alpha * op(A) * B,  A m-by-m triangular, B m-by-n.
+template <typename T>
+void trmm(Uplo uplo, Op op, Diag diag, T alpha, Tile<T> const& A,
+          Tile<T> const& B) {
+    int const m = B.mb();
+    int const n = B.nb();
+    tbp_require(A.mb() == m && A.nb() == m);
+
+    auto a = [&](int i, int j) -> T {
+        return (op == Op::NoTrans) ? A(i, j) : apply_op(op, A(j, i));
+    };
+    bool const eff_upper = (uplo == Uplo::Upper) == (op == Op::NoTrans);
+
+    for (int j = 0; j < n; ++j) {
+        if (eff_upper) {
+            // Row i of the product uses B rows >= i: process top-down.
+            for (int i = 0; i < m; ++i) {
+                T x = (diag == Diag::Unit) ? B(i, j) : a(i, i) * B(i, j);
+                for (int l = i + 1; l < m; ++l)
+                    x += a(i, l) * B(l, j);
+                B(i, j) = alpha * x;
+            }
+        } else {
+            // Row i uses B rows <= i: process bottom-up.
+            for (int i = m - 1; i >= 0; --i) {
+                T x = (diag == Diag::Unit) ? B(i, j) : a(i, i) * B(i, j);
+                for (int l = 0; l < i; ++l)
+                    x += a(i, l) * B(l, j);
+                B(i, j) = alpha * x;
+            }
+        }
+    }
+}
+
+}  // namespace tbp::blas

@@ -1,0 +1,97 @@
+// Element-wise tile kernels: copy, transpose-copy, scale, add, set, and
+// tile-local norm contributions used by the distributed norm reductions.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hh"
+#include "matrix/tile.hh"
+
+namespace tbp::blas {
+
+/// B := A (dimensions must match).
+template <typename T>
+void copy(Tile<T> const& A, Tile<T> const& B) {
+    tbp_require(A.mb() == B.mb() && A.nb() == B.nb());
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            B(i, j) = A(i, j);
+}
+
+/// B := op(A) with op in {Trans, ConjTrans}; B is A.nb-by-A.mb.
+template <typename T>
+void transpose_copy(Op op, Tile<T> const& A, Tile<T> const& B) {
+    tbp_require(op != Op::NoTrans);
+    tbp_require(A.mb() == B.nb() && A.nb() == B.mb());
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            B(j, i) = apply_op(op, A(i, j));
+}
+
+/// A := alpha * A.
+template <typename T>
+void scale(T alpha, Tile<T> const& A) {
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            A(i, j) *= alpha;
+}
+
+/// B := alpha * A + beta * B (geadd).
+template <typename T>
+void add(T alpha, Tile<T> const& A, T beta, Tile<T> const& B) {
+    tbp_require(A.mb() == B.mb() && A.nb() == B.nb());
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            B(i, j) = alpha * A(i, j) + beta * B(i, j);
+}
+
+/// A := offdiag everywhere, diag on the diagonal (laset).
+template <typename T>
+void set(T offdiag, T diag, Tile<T> const& A) {
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            A(i, j) = (i == j) ? diag : offdiag;
+}
+
+/// Max |a_ij| over the tile.
+template <typename T>
+real_t<T> norm_max(Tile<T> const& A) {
+    real_t<T> v(0);
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            v = std::max(v, std::abs(A(i, j)));
+    return v;
+}
+
+/// Column absolute sums: col_sums[j] += sum_i |a_ij| (for one-norm).
+template <typename T>
+void col_abs_sums(Tile<T> const& A, real_t<T>* col_sums) {
+    for (int j = 0; j < A.nb(); ++j) {
+        real_t<T> s(0);
+        for (int i = 0; i < A.mb(); ++i)
+            s += std::abs(A(i, j));
+        col_sums[j] += s;
+    }
+}
+
+/// Row absolute sums: row_sums[i] += sum_j |a_ij| (for inf-norm).
+template <typename T>
+void row_abs_sums(Tile<T> const& A, real_t<T>* row_sums) {
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            row_sums[i] += std::abs(A(i, j));
+}
+
+/// Sum of squared magnitudes (for the Frobenius norm reduction).
+template <typename T>
+real_t<T> sum_sq(Tile<T> const& A) {
+    real_t<T> s(0);
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            s += abs_sq(A(i, j));
+    return s;
+}
+
+}  // namespace tbp::blas

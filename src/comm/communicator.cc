@@ -1,0 +1,76 @@
+#include "comm/communicator.hh"
+
+#include <thread>
+
+namespace tbp::comm {
+
+void Communicator::push_message(int src, int dst, int tag,
+                                std::vector<std::byte> buf) {
+    {
+        std::lock_guard<std::mutex> lk(s_->mtx);
+        s_->channels[{src, dst, tag}].messages.push_back(std::move(buf));
+    }
+    s_->cv.notify_all();
+}
+
+std::vector<std::byte> Communicator::pop_message(int src, int dst, int tag) {
+    std::unique_lock<std::mutex> lk(s_->mtx);
+    auto key = std::make_tuple(src, dst, tag);
+    s_->cv.wait(lk, [&] {
+        auto it = s_->channels.find(key);
+        return it != s_->channels.end() && !it->second.messages.empty();
+    });
+    auto& ch = s_->channels[key];
+    auto buf = std::move(ch.messages.front());
+    ch.messages.pop_front();
+    return buf;
+}
+
+void Communicator::barrier() {
+    std::unique_lock<std::mutex> lk(s_->mtx);
+    int const sense = s_->barrier_sense;
+    if (++s_->barrier_count == s_->nranks) {
+        s_->barrier_count = 0;
+        s_->barrier_sense ^= 1;
+        s_->cv.notify_all();
+    } else {
+        s_->cv.wait(lk, [&] { return s_->barrier_sense != sense; });
+    }
+}
+
+World::World(int nranks) : nranks_(nranks) {
+    tbp_require(nranks >= 1);
+    shared_ = std::make_shared<detail::Shared>();
+    shared_->nranks = nranks;
+    shared_->coll_slots.resize(static_cast<size_t>(nranks));
+}
+
+void World::run(std::function<void(Communicator&)> const& fn) {
+    std::vector<std::thread> threads;
+    std::mutex err_mtx;
+    std::exception_ptr first_error;
+
+    threads.reserve(static_cast<size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+        threads.emplace_back([&, r] {
+            Communicator comm(r, shared_);
+            try {
+                fn(comm);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(err_mtx);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    // Fresh channel state for the next run.
+    shared_->channels.clear();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+}  // namespace tbp::comm

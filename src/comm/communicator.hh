@@ -1,0 +1,187 @@
+// Simulated message passing over in-process virtual ranks.
+//
+// TBP's stand-in for MPI (no MPI implementation exists in this environment):
+// World spawns P ranks as threads running the same SPMD function, and
+// Communicator gives each rank tagged point-to-point send/recv plus the
+// collectives QDWH's building blocks use — Barrier, Bcast, Allreduce
+// (Algorithm 2 line 8 reduces local column sums with MPI_Allreduce), and
+// Reduce. Semantics follow MPI: sends of trivially-copyable element buffers,
+// FIFO per (src, dst, tag) channel, deterministic rank-ordered reductions.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace tbp::comm {
+
+namespace detail {
+
+/// Shared mailbox state for one World.
+struct Shared {
+    struct Channel {
+        std::deque<std::vector<std::byte>> messages;
+    };
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    // key: (src, dst, tag)
+    std::map<std::tuple<int, int, int>, Channel> channels;
+
+    // Sense-reversing barrier.
+    int barrier_count = 0;
+    int barrier_sense = 0;
+
+    // Scratch area for collectives (one slot per rank).
+    std::vector<std::vector<std::byte>> coll_slots;
+    int coll_arrivals = 0;
+    int coll_generation = 0;
+
+    int nranks = 0;
+};
+
+}  // namespace detail
+
+class Communicator {
+public:
+    Communicator(int rank, std::shared_ptr<detail::Shared> shared)
+        : rank_(rank), s_(std::move(shared)) {}
+
+    int rank() const { return rank_; }
+    int size() const { return s_->nranks; }
+
+    /// Blocking tagged send of `count` elements of trivially copyable T.
+    template <typename T>
+    void send(T const* data, std::size_t count, int dst, int tag = 0) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tbp_require(0 <= dst && dst < size());
+        std::vector<std::byte> buf(count * sizeof(T));
+        std::memcpy(buf.data(), data, buf.size());
+        push_message(rank_, dst, tag, std::move(buf));
+    }
+
+    template <typename T>
+    void send(std::vector<T> const& v, int dst, int tag = 0) {
+        send(v.data(), v.size(), dst, tag);
+    }
+
+    /// Blocking tagged receive; message length must equal count elements.
+    template <typename T>
+    void recv(T* data, std::size_t count, int src, int tag = 0) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tbp_require(0 <= src && src < size());
+        auto buf = pop_message(src, rank_, tag);
+        tbp_require(buf.size() == count * sizeof(T));
+        std::memcpy(data, buf.data(), buf.size());
+    }
+
+    template <typename T>
+    void recv(std::vector<T>& v, int src, int tag = 0) {
+        recv(v.data(), v.size(), src, tag);
+    }
+
+    /// All ranks synchronize.
+    void barrier();
+
+    /// Broadcast `count` elements from root to every rank (in place).
+    template <typename T>
+    void bcast(T* data, std::size_t count, int root = 0) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        int const tag = kBcastTag;
+        if (rank_ == root) {
+            for (int r = 0; r < size(); ++r)
+                if (r != root)
+                    send(data, count, r, tag);
+        } else {
+            recv(data, count, root, tag);
+        }
+    }
+
+    template <typename T>
+    void bcast(std::vector<T>& v, int root = 0) {
+        bcast(v.data(), v.size(), root);
+    }
+
+    /// In-place element-wise allreduce with a deterministic rank-ordered
+    /// combine. `op(acc, x)` folds x into acc.
+    template <typename T>
+    void allreduce(T* data, std::size_t count,
+                   std::function<void(T&, T const&)> const& op) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        int const tag = kReduceTag;
+        if (rank_ == 0) {
+            std::vector<T> incoming(count);
+            for (int r = 1; r < size(); ++r) {
+                recv(incoming.data(), count, r, tag);
+                for (std::size_t i = 0; i < count; ++i)
+                    op(data[i], incoming[i]);
+            }
+        } else {
+            send(data, count, 0, tag);
+        }
+        bcast(data, count, 0);
+    }
+
+    template <typename T>
+    void allreduce_sum(T* data, std::size_t count) {
+        allreduce<T>(data, count, [](T& a, T const& b) { a += b; });
+    }
+
+    template <typename T>
+    void allreduce_sum(std::vector<T>& v) {
+        allreduce_sum(v.data(), v.size());
+    }
+
+    template <typename T>
+    T allreduce_max(T x) {
+        allreduce<T>(&x, 1, [](T& a, T const& b) {
+            if (b > a)
+                a = b;
+        });
+        return x;
+    }
+
+    template <typename T>
+    T allreduce_sum_scalar(T x) {
+        allreduce_sum(&x, 1);
+        return x;
+    }
+
+private:
+    static constexpr int kBcastTag = -1;
+    static constexpr int kReduceTag = -2;
+
+    void push_message(int src, int dst, int tag, std::vector<std::byte> buf);
+    std::vector<std::byte> pop_message(int src, int dst, int tag);
+
+    int rank_;
+    std::shared_ptr<detail::Shared> s_;
+};
+
+/// A set of virtual ranks executing an SPMD function on threads.
+class World {
+public:
+    explicit World(int nranks);
+
+    int size() const { return nranks_; }
+
+    /// Run fn(comm) on every rank; returns when all ranks finish.
+    /// Rethrows the first exception raised on any rank.
+    void run(std::function<void(Communicator&)> const& fn);
+
+private:
+    int nranks_;
+    std::shared_ptr<detail::Shared> shared_;
+};
+
+}  // namespace tbp::comm

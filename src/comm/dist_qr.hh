@@ -1,0 +1,230 @@
+// Distributed flat-tree tile QR over virtual ranks (SPMD, real messages) —
+// the communication-avoiding factorization behind QDWH's QR-based iteration,
+// in its message-passing form:
+//
+//   - panel k: geqrt at the owner of (k, k); the TS chain folds each tile
+//     below into R, relaying the evolving R tile down the panel owners;
+//   - the V/T of every reflector block is broadcast along the process rows
+//     that hold the trailing tiles;
+//   - tsmqr couples two block rows (k and i): when their owners differ, the
+//     row-k tile travels to the row-i owner and back (the classic
+//     ScaLAPACK-style pairwise update exchange).
+//
+// dist_ungqr applies the recorded reflectors in reverse to [I; 0], and
+// dist_qdwh composes these with the Cholesky kernels of dist_algs.hh into a
+// complete distributed QDWH (both iteration branches).
+//
+// Determinism: the tile kernels see the same values in the same order as
+// the shared-memory path, so the factors agree bit-for-bit — tested.
+
+#pragma once
+
+#include "blas/householder.hh"
+#include "comm/dist_algs.hh"
+
+namespace tbp::comm {
+
+namespace detail {
+
+/// Exchange-update: run fn on `runner`; tile (i, j) of A is shipped from its
+/// owner to `runner` first and shipped back after, if they differ.
+/// Both ranks (and only they) must call this.
+template <typename T, typename Fn>
+void borrow_tile(Communicator& c, DistMatrix<T>& A, int i, int j, int runner,
+                 int tag, Fn const& fn) {
+    int const owner = A.owner(i, j);
+    if (owner == runner) {
+        if (c.rank() == runner)
+            fn(A.tile(i, j));
+        return;
+    }
+    if (c.rank() == owner) {
+        detail::send_tile(c, A.tile(i, j), runner, tag);
+        auto back = detail::recv_tile<T>(c, A.tile_mb(i), A.tile_nb(j), runner,
+                                         tag + 1);
+        auto t = A.tile(i, j);
+        for (int cc = 0; cc < t.nb(); ++cc)
+            for (int rr = 0; rr < t.mb(); ++rr)
+                t(rr, cc) = back.tile()(rr, cc);
+    } else if (c.rank() == runner) {
+        auto st = detail::recv_tile<T>(c, A.tile_mb(i), A.tile_nb(j), owner, tag);
+        fn(st.tile());
+        detail::send_tile(c, st.tile(), owner, tag + 1);
+    }
+}
+
+}  // namespace detail
+
+/// Distributed flat-tree QR: A = Q R in place (R upper, reflectors below +
+/// in Tmat). Tmat must share A's tile layout with square nb(k)-sized tiles
+/// (allocate with tile size = A's nb; only the top nb(k) x nb(k) is used).
+template <typename T>
+void dist_geqrf(Communicator& c, Grid g, DistMatrix<T>& A, DistMatrix<T>& Tmat) {
+    int const mt = A.mt(), nt = A.nt();
+    int const kt = std::min(mt, nt);
+    int tag = 1 << 24;
+
+    for (int k = 0; k < kt; ++k) {
+        int const nbk = A.tile_nb(k);
+
+        // -- geqrt on the diagonal tile --------------------------------------
+        if (A.is_local(k, k) && Tmat.is_local(k, k)) {
+            auto tt = Tmat.tile(k, k).sub(0, 0, nbk, nbk);
+            blas::geqrt(A.tile(k, k), tt);
+        } else if (A.owner(k, k) != Tmat.owner(k, k)) {
+            // Tmat shares A's map by construction; guarded for safety.
+            tbp_require(false);
+        }
+
+        // Broadcast V(k,k) + T(k,k) along process row k for the updates.
+        auto rk = row_group(g, k);
+        detail::Staged<T> vkk, tkk;
+        {
+            bool const need = in_group(rk, c.rank());
+            if (need || A.owner(k, k) == c.rank()) {
+                auto s = stage_tile(c, A, k, k, rk, tag);
+                if (need)
+                    vkk = std::move(s);
+                auto s2 = stage_tile(c, Tmat, k, k, rk, tag + 1);
+                if (need)
+                    tkk = std::move(s2);
+            }
+            tag += 2;
+        }
+        for (int j = k + 1; j < nt; ++j) {
+            if (A.is_local(k, j)) {
+                int const kk = std::min(vkk.mb, nbk);
+                auto tt = tkk.tile().sub(0, 0, kk, kk);
+                blas::unmqr(Op::ConjTrans, vkk.tile(), tt, A.tile(k, j));
+            }
+        }
+
+        // -- TS chain down the panel ----------------------------------------
+        for (int i = k + 1; i < mt; ++i) {
+            // tsqrt runs at owner(i, k); the R tile (k, k) is borrowed there.
+            int const runner = A.owner(i, k);
+            bool const involved =
+                c.rank() == runner || c.rank() == A.owner(k, k);
+            if (involved) {
+                detail::borrow_tile(c, A, k, k, runner, tag, [&](Tile<T> r1) {
+                    auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                    blas::tsqrt(r1, A.tile(i, k), tt);
+                });
+            }
+            tag += 2;
+
+            // Broadcast V2 = A(i,k) and T(i,k) to the union of process rows
+            // k and i (both sides of every tsmqr pair need them).
+            auto gi = row_group(g, i);
+            auto gk = row_group(g, k);
+            std::vector<int> grp = gi;
+            for (int r : gk)
+                if (!in_group(grp, r))
+                    grp.push_back(r);
+            detail::Staged<T> v2, ti;
+            {
+                bool const need = in_group(grp, c.rank());
+                if (need || A.owner(i, k) == c.rank()) {
+                    auto s = stage_tile(c, A, i, k, grp, tag);
+                    if (need)
+                        v2 = std::move(s);
+                    auto s2 = stage_tile(c, Tmat, i, k, grp, tag + 1);
+                    if (need)
+                        ti = std::move(s2);
+                }
+                tag += 2;
+            }
+
+            // Pairwise updates: tile (k, j) borrowed to owner(i, j).
+            for (int j = k + 1; j < nt; ++j) {
+                int const runner2 = A.owner(i, j);
+                bool const involved2 =
+                    c.rank() == runner2 || c.rank() == A.owner(k, j);
+                if (involved2) {
+                    detail::borrow_tile(
+                        c, A, k, j, runner2, tag, [&](Tile<T> c1) {
+                            auto tt = ti.tile().sub(0, 0, nbk, nbk);
+                            blas::tsmqr(Op::ConjTrans, v2.tile(), tt, c1,
+                                        A.tile(i, j));
+                        });
+                }
+                tag += 2;
+            }
+        }
+    }
+}
+
+/// Form Q (A.m x A.n) explicitly from a dist_geqrf-factored A: the reverse
+/// reflector sweep applied to [I; 0]. Q must share A's layout.
+template <typename T>
+void dist_ungqr(Communicator& c, Grid g, DistMatrix<T>& A, DistMatrix<T>& Tmat,
+                DistMatrix<T>& Q) {
+    int const mt = A.mt(), nt = std::min(A.mt(), A.nt());
+    tbp_require(Q.mt() == mt && Q.nt() == A.nt());
+    dist_set_identity(Q);
+
+    int tag = 1 << 25;
+    for (int k = nt - 1; k >= 0; --k) {
+        int const nbk = A.tile_nb(k);
+        for (int i = mt - 1; i > k; --i) {
+            // Broadcast V2/T to the rows involved, then pairwise tsmqr.
+            auto gi = row_group(g, i);
+            auto gk = row_group(g, k);
+            std::vector<int> grp = gi;
+            for (int r : gk)
+                if (!in_group(grp, r))
+                    grp.push_back(r);
+            detail::Staged<T> v2, ti;
+            {
+                bool const need = in_group(grp, c.rank());
+                if (need || A.owner(i, k) == c.rank()) {
+                    auto s = stage_tile(c, A, i, k, grp, tag);
+                    if (need)
+                        v2 = std::move(s);
+                    auto s2 = stage_tile(c, Tmat, i, k, grp, tag + 1);
+                    if (need)
+                        ti = std::move(s2);
+                }
+                tag += 2;
+            }
+            for (int j = k; j < Q.nt(); ++j) {
+                int const runner = Q.owner(i, j);
+                bool const involved =
+                    c.rank() == runner || c.rank() == Q.owner(k, j);
+                if (involved) {
+                    detail::borrow_tile(
+                        c, Q, k, j, runner, tag, [&](Tile<T> c1) {
+                            auto tt = ti.tile().sub(0, 0, nbk, nbk);
+                            blas::tsmqr(Op::NoTrans, v2.tile(), tt, c1,
+                                        Q.tile(i, j));
+                        });
+                }
+                tag += 2;
+            }
+        }
+        // geqrt block: broadcast V(k,k)/T(k,k) along row k, apply NoTrans.
+        auto rk = row_group(g, k);
+        detail::Staged<T> vkk, tkk;
+        {
+            bool const need = in_group(rk, c.rank());
+            if (need || A.owner(k, k) == c.rank()) {
+                auto s = stage_tile(c, A, k, k, rk, tag);
+                if (need)
+                    vkk = std::move(s);
+                auto s2 = stage_tile(c, Tmat, k, k, rk, tag + 1);
+                if (need)
+                    tkk = std::move(s2);
+            }
+            tag += 2;
+        }
+        for (int j = k; j < Q.nt(); ++j) {
+            if (Q.is_local(k, j)) {
+                int const kk = std::min(vkk.mb, nbk);
+                auto tt = tkk.tile().sub(0, 0, kk, kk);
+                blas::unmqr(Op::NoTrans, vkk.tile(), tt, Q.tile(k, j));
+            }
+        }
+    }
+}
+
+}  // namespace tbp::comm

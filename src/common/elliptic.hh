@@ -1,0 +1,99 @@
+// Complete elliptic integrals and Jacobi elliptic functions.
+//
+// Substrate for the Zolo-PD extension (paper Section 8, ref. [25]): the
+// Zolotarev rational approximation of sign(x) on [l, 1] needs K(k') and
+// sn/cn/dn at equally spaced arguments. K uses the arithmetic-geometric
+// mean; sn/cn/dn use the standard descending-Landen recurrence.
+//
+// Conventions: `k` is the modulus (not the parameter m = k^2).
+
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hh"
+
+namespace tbp {
+
+/// Complete elliptic integral of the first kind, K(k), modulus k in [0, 1).
+inline double ellip_K(double k) {
+    tbp_require(k >= 0.0 && k < 1.0);
+    double a = 1.0;
+    double b = std::sqrt((1.0 - k) * (1.0 + k));
+    // AGM converges quadratically; the iteration cap guards against
+    // dithering at the 1-ulp boundary.
+    for (int i = 0; i < 60 && std::abs(a - b) > 1e-15 * a; ++i) {
+        double const an = 0.5 * (a + b);
+        b = std::sqrt(a * b);
+        a = an;
+    }
+    return M_PI / (2.0 * a);
+}
+
+/// K(k) given the *complementary* modulus kc = sqrt(1 - k^2). Accurate for
+/// k -> 1 (kc -> 0), where forming k itself would round to 1: uses the
+/// asymptotic K = ln(4/kc) + O(kc^2 ln kc) for tiny kc.
+inline double ellip_K_from_complement(double kc) {
+    tbp_require(kc > 0.0 && kc <= 1.0);
+    if (kc < 1e-6)
+        return std::log(4.0 / kc);
+    return ellip_K(std::sqrt((1.0 - kc) * (1.0 + kc)));
+}
+
+struct JacobiElliptic {
+    double sn, cn, dn;
+};
+
+/// Jacobi elliptic functions sn(u, k), cn(u, k), dn(u, k) by the
+/// descending Landen transformation (Numerical Recipes sncndn, adapted;
+/// argument convention: modulus k, parameter m = k^2 in [0, 1]).
+inline JacobiElliptic ellip_sncndn(double u, double k) {
+    double const CA = 1e-12;
+    double emc = 1.0 - k * k;  // complementary parameter
+    JacobiElliptic r{};
+
+    if (emc != 0.0) {
+        double a = 1.0;
+        r.dn = 1.0;
+        double em[14], en[14];
+        int l = 0;
+        double c = 0;
+        for (int i = 0; i < 13; ++i) {
+            l = i;
+            em[i] = a;
+            emc = std::sqrt(emc);
+            en[i] = emc;
+            c = 0.5 * (a + emc);
+            if (std::abs(a - emc) <= CA * a)
+                break;
+            emc *= a;
+            a = c;
+        }
+        u *= c;
+        r.sn = std::sin(u);
+        r.cn = std::cos(u);
+        if (r.sn != 0.0) {
+            a = r.cn / r.sn;
+            c *= a;
+            for (int ll = l; ll >= 0; --ll) {
+                double const b = em[ll];
+                a *= c;
+                c *= r.dn;
+                r.dn = (en[ll] + a) / (b + a);
+                a = c / b;
+            }
+            a = 1.0 / std::sqrt(c * c + 1.0);
+            r.sn = (r.sn >= 0.0) ? a : -a;
+            r.cn = c * r.sn;
+        }
+    } else {
+        // k = 1: degenerate hyperbolic case.
+        r.cn = 1.0 / std::cosh(u);
+        r.dn = r.cn;
+        r.sn = std::tanh(u);
+    }
+    return r;
+}
+
+}  // namespace tbp

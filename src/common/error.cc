@@ -1,0 +1,10 @@
+#include "common/error.hh"
+
+namespace tbp::detail {
+
+void throw_require_failure(const char* cond, const char* file, int line) {
+    throw Error(std::string("tbp_require failed: ") + cond + " at " + file +
+                ":" + std::to_string(line));
+}
+
+}  // namespace tbp::detail

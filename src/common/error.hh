@@ -1,0 +1,34 @@
+// Error handling used throughout TBP.
+//
+// Numerical routines report hard failures (non-positive-definite pivot,
+// non-convergence) by throwing tbp::Error; programming errors (bad
+// dimensions, null tiles) are caught by tbp_require, which throws in all
+// build types so tests can assert on misuse.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tbp {
+
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* cond, const char* file, int line);
+}  // namespace detail
+
+}  // namespace tbp
+
+/// Precondition check; active in every build type.
+#define tbp_require(cond)                                                    \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::tbp::detail::throw_require_failure(#cond, __FILE__, __LINE__); \
+    } while (0)
+
+/// Numerical failure with formatted context.
+#define tbp_throw(msg) throw ::tbp::Error(std::string(msg))

@@ -1,0 +1,52 @@
+// Flop-count formulas for the operations QDWH is built from, following the
+// LAPACK working notes (real-arithmetic counts; callers scale complex counts
+// with fma_flops<T>()/2).
+//
+// The paper's overall complexity model (Section 4, square matrices):
+//
+//   C_QDWH(n) = 4/3 n^3  +  (8 + 2/3) n^3 * #it_QR
+//             + (4 + 1/3) n^3 * #it_Chol  +  2 n^3
+//
+// is reproduced by qdwh_model_flops() and checked against the library's
+// measured per-operation counters in bench_flops_model.
+
+#pragma once
+
+#include <cstdint>
+
+namespace tbp::flops {
+
+inline double gemm(double m, double n, double k) { return 2.0 * m * n * k; }
+
+inline double syrk(double n, double k) { return n * (n + 1) * k; }
+
+inline double trsm(double side_m, double m, double n) {
+    // side == Left: solve op(A) X = B with A m-by-m, B m-by-n.
+    return side_m * m * n;  // pass side_m = m (Left) or n (Right)
+}
+
+inline double trsm_left(double m, double n) { return m * m * n; }
+inline double trsm_right(double m, double n) { return n * n * m; }
+
+inline double potrf(double n) { return n * n * n / 3.0 + n * n / 2.0; }
+
+inline double geqrf(double m, double n) {
+    // 2mn^2 - 2/3 n^3 + lower order
+    return 2.0 * m * n * n - 2.0 / 3.0 * n * n * n;
+}
+
+inline double ungqr(double m, double n, double k) {
+    return 4.0 * m * n * k - 2.0 * (m + n) * k * k + 4.0 / 3.0 * k * k * k;
+}
+
+/// Paper Section 4: QDWH flop model for an m>=n matrix (counts given for
+/// square n; the rectangular generalization charges QR work on m+n rows).
+inline double qdwh_model(double n, int it_qr, int it_chol) {
+    double n3 = n * n * n;
+    return 4.0 / 3.0 * n3                       // condition estimate (QR)
+           + (8.0 + 2.0 / 3.0) * n3 * it_qr     // QR-based iterations
+           + (4.0 + 1.0 / 3.0) * n3 * it_chol   // Cholesky-based iterations
+           + 2.0 * n3;                          // H = U^H A
+}
+
+}  // namespace tbp::flops

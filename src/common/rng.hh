@@ -1,0 +1,69 @@
+// Deterministic random number generation for matrix generation and tests.
+//
+// A thin wrapper over a counter-based splitmix64 / xoshiro-style generator so
+// that matrix entries are reproducible across runs and independent of thread
+// scheduling: every (seed, index) pair maps to the same value, which lets
+// tile-parallel generators fill tiles in any order.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tbp {
+
+/// splitmix64: high-quality 64-bit mixing of a counter.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a 64-bit hash.
+constexpr double u01_from_bits(std::uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Counter-based generator: stateless per call, reproducible per (seed, ctr).
+class CounterRng {
+public:
+    explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+    /// Uniform in [0,1) for a global element index.
+    double uniform(std::uint64_t index) const {
+        return u01_from_bits(splitmix64(seed_ ^ splitmix64(index)));
+    }
+
+    /// Standard normal via Box-Muller on two decorrelated streams.
+    double normal(std::uint64_t index) const {
+        // Two independent uniforms derived from the same index.
+        double u1 = u01_from_bits(splitmix64(seed_ ^ splitmix64(2 * index)));
+        double u2 = u01_from_bits(splitmix64(seed_ ^ splitmix64(2 * index + 1)));
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    }
+
+    /// Scalar of type T with standard-normal real (and imaginary) parts.
+    template <typename T>
+    T gaussian(std::uint64_t index) const {
+        if constexpr (is_complex_v<T>) {
+            using R = real_t<T>;
+            // Use disjoint index streams for real and imaginary parts.
+            return T(static_cast<R>(normal(2 * index + 0x100000000ULL)),
+                     static_cast<R>(normal(2 * index + 0x100000001ULL)));
+        } else {
+            return static_cast<T>(normal(index));
+        }
+    }
+
+    std::uint64_t seed() const { return seed_; }
+
+private:
+    std::uint64_t seed_;
+};
+
+}  // namespace tbp

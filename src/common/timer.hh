@@ -1,0 +1,26 @@
+// Wall-clock timing helpers for benchmarks and the runtime tracer.
+
+#pragma once
+
+#include <chrono>
+
+namespace tbp {
+
+/// Seconds since an arbitrary steady epoch.
+inline double wall_time() {
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Scoped stopwatch.
+class Timer {
+public:
+    Timer() : start_(wall_time()) {}
+    void reset() { start_ = wall_time(); }
+    double elapsed() const { return wall_time() - start_; }
+
+private:
+    double start_;
+};
+
+}  // namespace tbp

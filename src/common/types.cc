@@ -1,0 +1,28 @@
+#include "common/types.hh"
+
+namespace tbp {
+
+const char* to_string(Op op) {
+    switch (op) {
+        case Op::NoTrans:   return "NoTrans";
+        case Op::Trans:     return "Trans";
+        case Op::ConjTrans: return "ConjTrans";
+    }
+    return "?";
+}
+
+const char* to_string(Uplo uplo) {
+    return uplo == Uplo::Lower ? "Lower" : "Upper";
+}
+
+const char* to_string(Norm norm) {
+    switch (norm) {
+        case Norm::One: return "One";
+        case Norm::Inf: return "Inf";
+        case Norm::Fro: return "Fro";
+        case Norm::Max: return "Max";
+    }
+    return "?";
+}
+
+}  // namespace tbp

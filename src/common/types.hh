@@ -1,0 +1,118 @@
+// Scalar-type traits shared by every TBP subsystem.
+//
+// The library supports the four standard LAPACK scalar types
+// (float, double, std::complex<float>, std::complex<double>), matching the
+// paper's contribution #2. These traits give kernels a uniform way to query
+// the associated real type, conjugate values, and count flops (complex
+// arithmetic is weighted per the usual LAPACK convention).
+
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <type_traits>
+
+namespace tbp {
+
+template <typename T>
+struct is_complex : std::false_type {};
+
+template <typename R>
+struct is_complex<std::complex<R>> : std::true_type {};
+
+template <typename T>
+inline constexpr bool is_complex_v = is_complex<T>::value;
+
+template <typename T>
+struct real_type_of {
+    using type = T;
+};
+
+template <typename R>
+struct real_type_of<std::complex<R>> {
+    using type = R;
+};
+
+/// Real type associated with scalar T (e.g. double for complex<double>).
+template <typename T>
+using real_t = typename real_type_of<T>::type;
+
+/// conj() that is an identity on real types, so templated kernels can
+/// conjugate unconditionally.
+template <typename T>
+constexpr T conj_val(T x) {
+    if constexpr (is_complex_v<T>)
+        return std::conj(x);
+    else
+        return x;
+}
+
+/// |x|^2 without the sqrt of std::abs.
+template <typename T>
+constexpr real_t<T> abs_sq(T x) {
+    if constexpr (is_complex_v<T>)
+        return x.real() * x.real() + x.imag() * x.imag();
+    else
+        return x * x;
+}
+
+/// Real part (identity on real types).
+template <typename T>
+constexpr real_t<T> real_part(T x) {
+    if constexpr (is_complex_v<T>)
+        return x.real();
+    else
+        return x;
+}
+
+/// Make a scalar of type T from a real value.
+template <typename T>
+constexpr T from_real(real_t<T> r) {
+    return T(r);
+}
+
+/// Flop weight of one fused multiply-add in type T, following the LAPACK
+/// working-note convention: a complex multiply-add costs 8 real flops,
+/// a real one costs 2.
+template <typename T>
+constexpr double fma_flops() {
+    return is_complex_v<T> ? 8.0 : 2.0;
+}
+
+/// Operation applied to a matrix operand.
+enum class Op : std::uint8_t { NoTrans, Trans, ConjTrans };
+
+/// Which triangle of a matrix is referenced.
+enum class Uplo : std::uint8_t { Lower, Upper };
+
+/// Whether a triangular matrix has an implicit unit diagonal.
+enum class Diag : std::uint8_t { NonUnit, Unit };
+
+/// Side of a matrix product or solve.
+enum class Side : std::uint8_t { Left, Right };
+
+/// Matrix norms, mirroring LAPACK's lange/lansy selectors.
+enum class Norm : std::uint8_t { One, Inf, Fro, Max };
+
+/// Resolve op(x) for a scalar element given the operand's Op.
+template <typename T>
+constexpr T apply_op(Op op, T x) {
+    return op == Op::ConjTrans ? conj_val(x) : x;
+}
+
+/// Compose transposition: what Op does `op` become when the enclosing
+/// expression is itself transposed?
+constexpr Op transpose(Op op) {
+    switch (op) {
+        case Op::NoTrans:   return Op::Trans;
+        case Op::Trans:     return Op::NoTrans;
+        case Op::ConjTrans: return Op::NoTrans;  // (A^H)^H = A
+    }
+    return Op::NoTrans;
+}
+
+const char* to_string(Op op);
+const char* to_string(Uplo uplo);
+const char* to_string(Norm norm);
+
+}  // namespace tbp

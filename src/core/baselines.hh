@@ -1,0 +1,110 @@
+// Polar decomposition baselines from the paper's related work (Section 3).
+//
+//   newton_polar - Newton's iteration X <- (z X + (z X)^{-H}) / 2 with
+//                  Higham's 1/inf-norm scaling. Needs an explicit inverse
+//                  per step — exactly the numerical-stability weakness the
+//                  paper cites as motivation for inverse-free QDWH.
+//   svd_polar    - the classical SVD route: A = U Sigma V^H gives
+//                  U_p = U V^H and H = V Sigma V^H. Accurate but built on a
+//                  kernel (SVD) that resists communication-avoiding
+//                  optimization (paper Sections 1, 4).
+//
+// Both operate on dense matrices via the reference substrate; they are
+// correctness baselines and flop-model comparators, not performance
+// contenders.
+
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/types.hh"
+#include "ref/dense.hh"
+#include "ref/jacobi.hh"
+#include "ref/lu.hh"
+
+namespace tbp {
+
+struct NewtonInfo {
+    int iterations = 0;
+    double conv = 0;
+};
+
+/// Polar decomposition of a nonsingular square A by scaled Newton iteration.
+/// U overwrites nothing; returns U and H with A = U H.
+template <typename T>
+NewtonInfo newton_polar(ref::Dense<T> const& A, ref::Dense<T>& U,
+                        ref::Dense<T>& H, int max_iter = 100) {
+    using R = real_t<T>;
+    std::int64_t const n = A.n();
+    tbp_require(A.m() == n && n >= 1);
+
+    R const eps = std::numeric_limits<R>::epsilon();
+    R const tol = std::cbrt(R(5) * eps);
+
+    NewtonInfo info;
+    U = A;
+    ref::Dense<T> Xprev(n, n);
+    R conv = std::numeric_limits<R>::max();
+    while (info.iterations < max_iter) {
+        Xprev = U;
+        auto Xinv = ref::inverse(U);
+        // Y = X^{-H}
+        ref::Dense<T> Y(n, n);
+        for (std::int64_t j = 0; j < n; ++j)
+            for (std::int64_t i = 0; i < n; ++i)
+                Y(i, j) = conj_val(Xinv(j, i));
+        // Higham scaling: zeta = ((||Y||_1 ||Y||_inf)/(||X||_1 ||X||_inf))^{1/4}
+        auto inf_norm = [](ref::Dense<T> const& M) {
+            R best(0);
+            for (std::int64_t i = 0; i < M.m(); ++i) {
+                R s(0);
+                for (std::int64_t j = 0; j < M.n(); ++j)
+                    s += std::abs(M(i, j));
+                best = std::max(best, s);
+            }
+            return best;
+        };
+        R const zeta = std::pow((ref::norm_one(Y) * inf_norm(Y))
+                                    / (ref::norm_one(U) * inf_norm(U)),
+                                R(0.25));
+        for (std::int64_t j = 0; j < n; ++j)
+            for (std::int64_t i = 0; i < n; ++i)
+                U(i, j) = (from_real<T>(zeta) * U(i, j)
+                           + Y(i, j) / from_real<T>(zeta))
+                          * from_real<T>(R(0.5));
+        ++info.iterations;
+        conv = ref::diff_fro(U, Xprev);
+        if (conv < tol)
+            break;
+    }
+    info.conv = static_cast<double>(conv);
+    if (conv >= tol)
+        tbp_throw("newton_polar: did not converge");
+
+    // H = (U^H A + A^H U) / 2.
+    auto G = ref::gemm(Op::ConjTrans, Op::NoTrans, T(1), U, A);
+    H = ref::Dense<T>(n, n);
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < n; ++i)
+            H(i, j) = (G(i, j) + conj_val(G(j, i))) * from_real<T>(R(0.5));
+    return info;
+}
+
+/// Polar decomposition via the SVD (m >= n): U_p = U V^H, H = V Sigma V^H.
+template <typename T>
+void svd_polar(ref::Dense<T> const& A, ref::Dense<T>& Up, ref::Dense<T>& H) {
+    ref::Dense<T> U, V;
+    std::vector<real_t<T>> s;
+    ref::jacobi_svd(A, U, s, V);
+    Up = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), U, V);
+    // H = V diag(s) V^H.
+    auto Vs = V;
+    for (std::int64_t j = 0; j < V.n(); ++j)
+        for (std::int64_t i = 0; i < V.m(); ++i)
+            Vs(i, j) = V(i, j) * from_real<T>(s[static_cast<size_t>(j)]);
+    H = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), Vs, V);
+}
+
+}  // namespace tbp

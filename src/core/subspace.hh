@@ -1,0 +1,90 @@
+// Partial-spectrum subspace extraction via the polar decomposition — the
+// "light-weight version of the polar decomposition ... to extract the most
+// significant singular values/vectors [26] and the negative eigen
+// values/vectors [36]" of the paper's introduction, and the building block
+// of its future-work partial EVD (Section 8).
+//
+// For Hermitian A and a splitting point mu not in the spectrum, the polar
+// factor of A - mu I is the matrix sign function, and
+//
+//   P = (sign(A - mu I) + I) / 2
+//
+// is the orthogonal projector onto the invariant subspace of eigenvalues
+// > mu. An orthonormal basis is extracted by a randomized range finder:
+// QR of P * Omega with Omega Gaussian of width k = round(trace(P)).
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "linalg/gemm.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/util.hh"
+
+namespace tbp {
+
+template <typename T>
+struct SubspaceResult {
+    TiledMatrix<T> basis;  ///< n x k orthonormal columns spanning the subspace
+    std::int64_t dim = 0;  ///< k = number of eigenvalues > mu
+    QdwhInfo polar_info;
+};
+
+/// Orthonormal basis of the invariant subspace of the Hermitian matrix A
+/// associated with eigenvalues greater than mu. mu must separate the
+/// spectrum (not equal to an eigenvalue); returns dim = 0 or n with an
+/// empty/full basis when every eigenvalue is on one side.
+template <typename T>
+SubspaceResult<T> qdwh_subspace(rt::Engine& eng, TiledMatrix<T> const& A,
+                                real_t<T> mu, int nb_basis = 0,
+                                std::uint64_t seed = 99) {
+    using R = real_t<T>;
+    std::int64_t const n = A.n();
+    tbp_require(A.m() == n);
+    auto const cols = A.col_tile_sizes();
+    int const nb = nb_basis > 0 ? nb_basis : cols.front();
+
+    SubspaceResult<T> out;
+
+    // sign(A - mu I) by QDWH.
+    TiledMatrix<T> S = A.clone();
+    for (std::int64_t i = 0; i < n; ++i)
+        S.at(i, i) -= from_real<T>(mu);
+    TiledMatrix<T> H;
+    QdwhOptions o;
+    o.compute_h = false;
+    out.polar_info = qdwh(eng, S, H, o);
+
+    // P = (S + I)/2; k = round(trace P).
+    eng.wait();
+    R tr(0);
+    for (std::int64_t i = 0; i < n; ++i)
+        tr += (real_part(S.at(i, i)) + R(1)) / R(2);
+    std::int64_t const k = std::llround(static_cast<double>(tr));
+    out.dim = std::min<std::int64_t>(std::max<std::int64_t>(k, 0), n);
+    if (out.dim == 0)
+        return out;
+
+    // Range finder: Y = P * Omega, Omega Gaussian n x k; basis = orth(Y).
+    // Omega's row tiling must match A's column tiling for the gemm.
+    auto const kcols = TiledMatrix<T>::chop(out.dim, nb);
+    TiledMatrix<T> Omega(cols, kcols, A.grid());
+    gen::fill_gaussian(eng, Omega, seed);
+    TiledMatrix<T> Y(cols, kcols, A.grid());
+    // Y = (S Omega + Omega) / 2 — apply P without forming it.
+    la::gemm(eng, Op::NoTrans, Op::NoTrans, from_real<T>(R(0.5)), S, Omega,
+             T(0), Y);
+    la::add(eng, from_real<T>(R(0.5)), Omega, T(1), Y);
+
+    auto Tm = la::alloc_qr_t(Y);
+    la::geqrf(eng, Y, Tm);
+    out.basis = TiledMatrix<T>(cols, kcols, A.grid());
+    la::ungqr(eng, Y, Tm, out.basis);
+    eng.wait();
+    return out;
+}
+
+}  // namespace tbp

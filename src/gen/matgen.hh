@@ -1,0 +1,180 @@
+// Synthetic test-matrix generation (paper Section 7.1).
+//
+// "The generator creates random unitary matrices U, V, obtained through the
+// QR factorization of random matrices, and a diagonal matrix Sigma based on
+// the desired condition number of the matrix A. It then multiplies these
+// together, forming A = U Sigma V^H from its SVD."
+//
+// Entries of the Gaussian seeds are counter-based (common/rng.hh), so a
+// given (m, n, seed) always produces the same matrix regardless of tiling,
+// thread count, or task schedule.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "linalg/gemm.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/util.hh"
+#include "matrix/tiled_matrix.hh"
+#include "runtime/engine.hh"
+
+namespace tbp::gen {
+
+/// Singular value profiles; sigma_max = 1, sigma_min = 1/cond in all cases.
+enum class SigmaDist {
+    Geometric,     ///< sigma_j = cond^(-j/(n-1)) — the default, worst case
+    Arithmetic,    ///< evenly spaced in [1/cond, 1]
+    ClusterAtOne,  ///< all 1 except sigma_{n-1} = 1/cond
+    LogUniform,    ///< random, log-uniform in [1/cond, 1]
+};
+
+struct MatGenOptions {
+    double cond = 1e16;  ///< target 2-norm condition number
+    SigmaDist dist = SigmaDist::Geometric;
+    std::uint64_t seed = 42;
+};
+
+/// The singular values the generator embeds, largest first.
+template <typename R>
+std::vector<R> sigma_values(std::int64_t n, MatGenOptions const& opt) {
+    std::vector<R> s(static_cast<size_t>(n));
+    R const smin = static_cast<R>(1.0 / opt.cond);
+    CounterRng rng(opt.seed ^ 0x5157ULL);
+    for (std::int64_t j = 0; j < n; ++j) {
+        double const t = (n > 1) ? static_cast<double>(j) / static_cast<double>(n - 1) : 0.0;
+        switch (opt.dist) {
+            case SigmaDist::Geometric:
+                s[static_cast<size_t>(j)] = static_cast<R>(std::pow(opt.cond, -t));
+                break;
+            case SigmaDist::Arithmetic:
+                s[static_cast<size_t>(j)] =
+                    static_cast<R>(1.0 - (1.0 - 1.0 / opt.cond) * t);
+                break;
+            case SigmaDist::ClusterAtOne:
+                s[static_cast<size_t>(j)] = (j == n - 1) ? smin : R(1);
+                break;
+            case SigmaDist::LogUniform: {
+                double u = rng.uniform(static_cast<std::uint64_t>(j));
+                if (j == 0)
+                    u = 0.0;  // pin sigma_max = 1
+                else if (j == n - 1)
+                    u = 1.0;  // pin sigma_min = 1/cond
+                s[static_cast<size_t>(j)] =
+                    static_cast<R>(std::pow(opt.cond, -u));
+                break;
+            }
+        }
+    }
+    if (opt.dist == SigmaDist::LogUniform)
+        std::sort(s.begin(), s.end(), std::greater<R>());
+    return s;
+}
+
+/// Fill A with iid standard Gaussian entries (tile-parallel, reproducible).
+template <typename T>
+void fill_gaussian(rt::Engine& eng, TiledMatrix<T> A, std::uint64_t seed) {
+    CounterRng const rng(seed);
+    std::int64_t const m = A.m();
+    std::int64_t row0 = 0;
+    for (int i = 0; i < A.mt(); ++i) {
+        std::int64_t col0 = 0;
+        for (int j = 0; j < A.nt(); ++j) {
+            eng.submit("gauss", {rt::write(A.tile_key(i, j))},
+                       [A, i, j, row0, col0, m, rng] {
+                           auto t = A.tile(i, j);
+                           for (int c = 0; c < t.nb(); ++c)
+                               for (int r = 0; r < t.mb(); ++r)
+                                   t(r, c) = rng.gaussian<T>(static_cast<std::uint64_t>(
+                                       (row0 + r) + (col0 + c) * m));
+                       });
+            col0 += A.tile_nb(j);
+        }
+        row0 += A.tile_mb(i);
+    }
+    eng.op_fence();
+}
+
+/// Scale column j of A by s[j] (A := A * diag(s)).
+template <typename T>
+void scale_cols(rt::Engine& eng, TiledMatrix<T> A,
+                std::vector<real_t<T>> const& s) {
+    tbp_require(static_cast<std::int64_t>(s.size()) == A.n());
+    std::int64_t col0 = 0;
+    for (int j = 0; j < A.nt(); ++j) {
+        for (int i = 0; i < A.mt(); ++i) {
+            eng.submit("scale_cols", {rt::readwrite(A.tile_key(i, j))},
+                       [A, i, j, col0, &s] {
+                           auto t = A.tile(i, j);
+                           for (int c = 0; c < t.nb(); ++c) {
+                               T const f = from_real<T>(s[static_cast<size_t>(col0 + c)]);
+                               for (int r = 0; r < t.mb(); ++r)
+                                   t(r, c) *= f;
+                           }
+                       });
+        }
+        col0 += A.tile_nb(j);
+    }
+    eng.wait();  // `s` is caller-owned; don't let tasks outlive it
+}
+
+/// Random matrix with orthonormal columns: Q from the QR factorization of a
+/// Gaussian matrix (m >= n).
+template <typename T>
+TiledMatrix<T> random_orthonormal(rt::Engine& eng, std::int64_t m,
+                                  std::int64_t n, int nb, std::uint64_t seed,
+                                  Grid grid = {}) {
+    tbp_require(m >= n);
+    TiledMatrix<T> G(m, n, nb, grid);
+    fill_gaussian(eng, G, seed);
+    TiledMatrix<T> Tm = la::alloc_qr_t(G);
+    la::geqrf(eng, G, Tm);
+    TiledMatrix<T> Q(m, n, nb, grid);
+    la::ungqr(eng, G, Tm, Q);
+    eng.wait();
+    return Q;
+}
+
+/// A = U Sigma V^H with the requested condition number and singular-value
+/// profile. m >= n; A is m-by-n with tile size nb.
+template <typename T>
+TiledMatrix<T> cond_matrix(rt::Engine& eng, std::int64_t m, std::int64_t n,
+                           int nb, MatGenOptions const& opt = {},
+                           Grid grid = {}) {
+    tbp_require(m >= n);
+    auto sigma = sigma_values<real_t<T>>(n, opt);
+
+    TiledMatrix<T> U = random_orthonormal<T>(eng, m, n, nb, opt.seed * 2 + 1, grid);
+    TiledMatrix<T> V = random_orthonormal<T>(eng, n, n, nb, opt.seed * 2 + 2, grid);
+
+    scale_cols(eng, U, sigma);  // U := U Sigma
+    TiledMatrix<T> A(m, n, nb, grid);
+    la::gemm(eng, Op::NoTrans, Op::ConjTrans, T(1), U, V, T(0), A);
+    eng.wait();
+    return A;
+}
+
+/// Random Hermitian positive definite matrix: B B^H + n I (for potrf tests).
+template <typename T>
+TiledMatrix<T> hpd_matrix(rt::Engine& eng, std::int64_t n, int nb,
+                          std::uint64_t seed, Grid grid = {}) {
+    TiledMatrix<T> B(n, n, nb, grid);
+    fill_gaussian(eng, B, seed);
+    TiledMatrix<T> A(n, n, nb, grid);
+    la::set(eng, T(0), from_real<T>(static_cast<real_t<T>>(n)), A);
+    la::herk(eng, Uplo::Lower, Op::NoTrans, real_t<T>(1), B, real_t<T>(1), A);
+    // Mirror to the upper triangle so dense checks can use the whole matrix.
+    eng.wait();
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = j + 1; i < n; ++i)
+            A.at(j, i) = conj_val(A.at(i, j));
+    return A;
+}
+
+}  // namespace tbp::gen

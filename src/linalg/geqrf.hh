@@ -1,0 +1,208 @@
+// Task-parallel flat-tree tile QR (PLASMA/SLATE style) and explicit Q
+// generation — the communication-avoiding factorization behind QDWH's
+// QR-based iteration (paper Eq. (1)) and condition estimate.
+//
+//   geqrf: A = Q R. Panel k: geqrt on the diagonal tile, then tsqrt folds
+//          each tile below into the panel R; trailing tiles get the matching
+//          unmqr/tsmqr updates. The reflector data stays in A's lower part
+//          and per-tile T factors.
+//   ungqr: forms Q (m-by-n, n = A.n) explicitly by applying the reflector
+//          sequence in reverse order to [I; 0] — QDWH Algorithm 1 line 32.
+
+#pragma once
+
+#include <algorithm>
+
+#include "blas/householder.hh"
+#include "common/flops.hh"
+#include "common/types.hh"
+#include "linalg/util.hh"
+#include "matrix/tiled_matrix.hh"
+#include "runtime/engine.hh"
+
+namespace tbp::la {
+
+/// Workspace of T factors for geqrf/ungqr: tile (i, k) holds the compact WY
+/// factor for the reflector that panel k generated in block row i.
+template <typename T>
+TiledMatrix<T> alloc_qr_t(TiledMatrix<T> const& A) {
+    // Row tile sizes: max panel width, so every T(i, k) sub-fits.
+    int nb_max = 0;
+    for (int j = 0; j < A.nt(); ++j)
+        nb_max = std::max(nb_max, A.tile_nb(j));
+    std::vector<int> rb(static_cast<size_t>(A.mt()), nb_max);
+    return TiledMatrix<T>(rb, A.col_tile_sizes(), A.grid());
+}
+
+/// QR factorization, flat reduction tree. On return: R in the upper
+/// triangle of A, reflectors in A's lower part + Tmat (from alloc_qr_t).
+template <typename T>
+void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
+    int const mt = A.mt();
+    int const nt = A.nt();
+    int const kt = std::min(mt, nt);
+    tbp_require(Tmat.mt() == mt && Tmat.nt() == nt);
+
+    for (int k = 0; k < kt; ++k) {
+        int const nbk = A.tile_nb(k);
+        double const fl_ge = flops::geqrf(A.tile_mb(k), nbk) * (fma_flops<T>() / 2.0);
+        eng.submit("geqrt", fl_ge,
+                   {rt::readwrite(A.tile_key(k, k)), rt::write(Tmat.tile_key(k, k))},
+                   [A, Tmat, k, nbk] {
+                       auto tt = Tmat.tile(k, k).sub(0, 0, nbk, nbk);
+                       blas::geqrt(A.tile(k, k), tt);
+                   });
+
+        for (int j = k + 1; j < nt; ++j) {
+            double const fl = 4.0 * A.tile_mb(k) * nbk * A.tile_nb(j)
+                              * (fma_flops<T>() / 2.0);
+            eng.submit("unmqr", fl,
+                       {rt::read(A.tile_key(k, k)), rt::read(Tmat.tile_key(k, k)),
+                        rt::readwrite(A.tile_key(k, j))},
+                       [A, Tmat, k, j, nbk] {
+                           int const kk = std::min(A.tile_mb(k), nbk);
+                           auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
+                           blas::unmqr(Op::ConjTrans, A.tile(k, k), tt, A.tile(k, j));
+                       });
+        }
+
+        for (int i = k + 1; i < mt; ++i) {
+            double const fl_ts = 2.0 * A.tile_mb(i) * nbk * nbk
+                                 * (fma_flops<T>() / 2.0);
+            eng.submit("tsqrt", fl_ts,
+                       {rt::readwrite(A.tile_key(k, k)), rt::readwrite(A.tile_key(i, k)),
+                        rt::write(Tmat.tile_key(i, k))},
+                       [A, Tmat, i, k, nbk] {
+                           auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                           blas::tsqrt(A.tile(k, k), A.tile(i, k), tt);
+                       });
+
+            for (int j = k + 1; j < nt; ++j) {
+                double const fl = 4.0 * A.tile_mb(i) * nbk * A.tile_nb(j)
+                                  * (fma_flops<T>() / 2.0);
+                eng.submit("tsmqr", fl,
+                           {rt::read(A.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(A.tile_key(k, j)),
+                            rt::readwrite(A.tile_key(i, j))},
+                           [A, Tmat, i, j, k, nbk] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(Op::ConjTrans, A.tile(i, k), tt,
+                                           A.tile(k, j), A.tile(i, j));
+                           });
+            }
+        }
+    }
+    eng.op_fence();
+}
+
+/// Form Q (A.m-by-A.n) explicitly from a geqrf-factored A: Q := Q_factored
+/// applied to [I; 0]. Q must share A's row tiling; its column tiling must
+/// match A's first nt block columns.
+template <typename T>
+void ungqr(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat,
+           TiledMatrix<T> Q) {
+    int const mt = A.mt();
+    int const nt = std::min(A.mt(), A.nt());
+    tbp_require(Q.mt() == mt && Q.nt() == A.nt());
+
+    set_identity(eng, Q);
+
+    for (int k = nt - 1; k >= 0; --k) {
+        int const nbk = A.tile_nb(k);
+        // Panel k's product is geqrt_k * ts_{k+1} * ... * ts_{mt-1};
+        // applying it means innermost (largest i) first.
+        for (int i = mt - 1; i > k; --i) {
+            for (int j = k; j < Q.nt(); ++j) {
+                double const fl = 4.0 * A.tile_mb(i) * nbk * Q.tile_nb(j)
+                                  * (fma_flops<T>() / 2.0);
+                eng.submit("tsmqr", fl,
+                           {rt::read(A.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(Q.tile_key(k, j)),
+                            rt::readwrite(Q.tile_key(i, j))},
+                           [A, Tmat, Q, i, j, k, nbk] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(Op::NoTrans, A.tile(i, k), tt,
+                                           Q.tile(k, j), Q.tile(i, j));
+                           });
+            }
+        }
+        for (int j = k; j < Q.nt(); ++j) {
+            double const fl = 4.0 * A.tile_mb(k) * nbk * Q.tile_nb(j)
+                              * (fma_flops<T>() / 2.0);
+            eng.submit("unmqr", fl,
+                       {rt::read(A.tile_key(k, k)), rt::read(Tmat.tile_key(k, k)),
+                        rt::readwrite(Q.tile_key(k, j))},
+                       [A, Tmat, Q, k, j, nbk] {
+                           int const kk = std::min(A.tile_mb(k), nbk);
+                           auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
+                           blas::unmqr(Op::NoTrans, A.tile(k, k), tt, Q.tile(k, j));
+                       });
+        }
+    }
+    eng.op_fence();
+}
+
+/// Apply Q (or Q^H) from a geqrf-factored A to a conforming matrix C from
+/// the left: C := op(Q) C. Used by the unmqr-based SVD/EVD extensions.
+template <typename T>
+void unmqr(rt::Engine& eng, Op op, TiledMatrix<T> A, TiledMatrix<T> Tmat,
+           TiledMatrix<T> C) {
+    int const mt = A.mt();
+    int const nt = std::min(A.mt(), A.nt());
+    tbp_require(C.mt() == mt);
+    tbp_require(op == Op::NoTrans || op == Op::ConjTrans);
+
+    auto apply_panel = [&](int k) {
+        int const nbk = A.tile_nb(k);
+        auto ts = [&](int i) {
+            for (int j = 0; j < C.nt(); ++j) {
+                eng.submit("tsmqr",
+                           4.0 * A.tile_mb(i) * nbk * C.tile_nb(j)
+                               * (fma_flops<T>() / 2.0),
+                           {rt::read(A.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(C.tile_key(k, j)),
+                            rt::readwrite(C.tile_key(i, j))},
+                           [A, Tmat, C, i, j, k, nbk, op] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(op, A.tile(i, k), tt, C.tile(k, j),
+                                           C.tile(i, j));
+                           });
+            }
+        };
+        auto ge = [&] {
+            for (int j = 0; j < C.nt(); ++j) {
+                eng.submit("unmqr",
+                           4.0 * A.tile_mb(k) * nbk * C.tile_nb(j)
+                               * (fma_flops<T>() / 2.0),
+                           {rt::read(A.tile_key(k, k)), rt::read(Tmat.tile_key(k, k)),
+                            rt::readwrite(C.tile_key(k, j))},
+                           [A, Tmat, C, k, j, nbk, op] {
+                               int const kk = std::min(A.tile_mb(k), nbk);
+                               auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
+                               blas::unmqr(op, A.tile(k, k), tt, C.tile(k, j));
+                           });
+            }
+        };
+        if (op == Op::ConjTrans) {
+            // Q^H = ts_{mt-1}^H ... ts_{k+1}^H geqrt_k^H: geqrt first.
+            ge();
+            for (int i = k + 1; i < mt; ++i)
+                ts(i);
+        } else {
+            for (int i = mt - 1; i > k; --i)
+                ts(i);
+            ge();
+        }
+    };
+
+    if (op == Op::ConjTrans) {
+        for (int k = 0; k < nt; ++k)
+            apply_panel(k);
+    } else {
+        for (int k = nt - 1; k >= 0; --k)
+            apply_panel(k);
+    }
+    eng.op_fence();
+}
+
+}  // namespace tbp::la

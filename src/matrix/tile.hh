@@ -1,0 +1,56 @@
+// Tile<T>: a non-owning view of an mb-by-nb column-major block.
+//
+// Tiles are the unit of work and of dependency tracking: every tile kernel
+// in src/blas/ takes Tile arguments, and the runtime engine keys data
+// dependencies on the tile's data pointer. Mirrors SLATE's Tile class in
+// spirit (view semantics, column-major, leading dimension) without the
+// device/layout machinery.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace tbp {
+
+template <typename T>
+class Tile {
+public:
+    Tile() : data_(nullptr), mb_(0), nb_(0), ld_(0) {}
+
+    Tile(T* data, int mb, int nb, int ld)
+        : data_(data), mb_(mb), nb_(nb), ld_(ld) {
+        tbp_require(mb >= 0 && nb >= 0 && ld >= mb);
+    }
+
+    int mb() const { return mb_; }  ///< rows
+    int nb() const { return nb_; }  ///< columns
+    int ld() const { return ld_; }  ///< leading dimension (column stride)
+
+    T* data() const { return data_; }
+    bool empty() const { return data_ == nullptr || mb_ == 0 || nb_ == 0; }
+
+    /// Element access (column-major).
+    T& operator()(int i, int j) const {
+        return data_[i + static_cast<std::ptrdiff_t>(j) * ld_];
+    }
+
+    T& at(int i, int j) const {
+        tbp_require(0 <= i && i < mb_ && 0 <= j && j < nb_);
+        return (*this)(i, j);
+    }
+
+    /// Sub-view of rows [i0, i0+m) x columns [j0, j0+n).
+    Tile sub(int i0, int j0, int m, int n) const {
+        tbp_require(i0 >= 0 && j0 >= 0 && i0 + m <= mb_ && j0 + n <= nb_);
+        return Tile(data_ + i0 + static_cast<std::ptrdiff_t>(j0) * ld_, m, n, ld_);
+    }
+
+private:
+    T* data_;
+    int mb_, nb_, ld_;
+};
+
+}  // namespace tbp

@@ -1,0 +1,116 @@
+#include "perf/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbp::perf {
+
+int CostModel::total_devices() const {
+    return dev_ == Device::Gpu ? m_.nodes * m_.gpus : m_.nodes;
+}
+
+double CostModel::device_rate(KernelClass cls, double n_local) const {
+    double const base = dev_ == Device::Gpu ? m_.gpu_gflops
+                                            : m_.cpu_node_gflops();
+    double eff_max, ramp;
+    if (dev_ == Device::Gpu) {
+        ramp = m_.gpu_ramp_n;
+        eff_max = (cls == KernelClass::Panel) ? m_.gpu_panel_eff
+                                              : m_.gpu_gemm_eff;
+    } else {
+        ramp = m_.cpu_ramp_n;
+        eff_max = (cls == KernelClass::Panel) ? m_.cpu_panel_eff
+                                              : m_.cpu_gemm_eff;
+    }
+    if (cls == KernelClass::Trsm)
+        eff_max *= 0.8;  // triangular solves trail gemm slightly
+    // Saturation ramp in the per-device local dimension; the tile size also
+    // gates kernel efficiency (small nb starves the device)...
+    double const ramp_f = n_local / (n_local + ramp);
+    double const nb_f = static_cast<double>(nb_) / (nb_ + (dev_ == Device::Gpu ? 160.0 : 48.0));
+    // ...while too-large tiles starve the *scheduler*: a device needs several
+    // concurrent tiles per execution unit to stay busy. This is what makes
+    // the CPU optimum (nb = 192, 42 cores/node) sit below the GPU optimum
+    // (nb = 320) in Section 7.2's tuning.
+    double const tiles = (n_local / nb_) * (n_local / nb_);
+    double const want = dev_ == Device::Gpu ? 280.0 : 8.0 * m_.cpu_cores;
+    double const gran_f = tiles / (tiles + want);
+    return base * eff_max * ramp_f * nb_f * gran_f;
+}
+
+TimeBreakdown CostModel::op_time(OpSpec const& op) const {
+    TimeBreakdown t;
+    int const P = total_devices();
+    double const sqrtP = std::sqrt(static_cast<double>(P));
+    double const n_local =
+        static_cast<double>(op.n) / std::max(1.0, sqrtP);
+
+    // --- compute -----------------------------------------------------------
+    double const agg_update_rate =
+        device_rate(KernelClass::Gemm, n_local) * 1e9 * P;
+    t.update = op.update_flops / agg_update_rate;
+
+    // Panel chain: distributed over one process column (sqrt(P) devices),
+    // at panel efficiency.
+    double const panel_rate =
+        device_rate(KernelClass::Panel, n_local) * 1e9 * sqrtP;
+    t.panel = op.panel_flops / panel_rate;
+
+    // --- communication -------------------------------------------------------
+    double const elem = 8.0;  // double precision (paper Section 7.1)
+    double const words_per_proc =
+        op.comm_factor * static_cast<double>(op.n) * static_cast<double>(op.n)
+        / std::max(1.0, sqrtP);
+    double const procs_per_node = static_cast<double>(P) / m_.nodes;
+    double const bytes_per_node = words_per_proc * procs_per_node * elem;
+
+    // Split intra-node (fast fabric) vs inter-node (NIC) traffic.
+    double const inter_frac =
+        m_.nodes > 1 ? 1.0 - 1.0 / std::sqrt(static_cast<double>(m_.nodes))
+                     : 0.0;
+    double const intra_bytes = bytes_per_node * (1.0 - inter_frac);
+    double const inter_bytes = bytes_per_node * inter_frac;
+    double net = inter_bytes / (m_.net_bw_gbs * 1e9)
+                 + intra_bytes / (m_.d2h_bw_gbs * 1e9);
+    if (dev_ == Device::Gpu && !m_.gpu_aware_mpi) {
+        // Inter-node messages stage through host memory both ways.
+        net += 2.0 * inter_bytes / (m_.d2h_bw_gbs * 1e9);
+    }
+    t.network = net;
+
+    t.latency = op.panel_steps * std::log2(std::max(2, P))
+                * m_.net_latency_us * 1e-6;
+
+    // --- schedule composition -------------------------------------------------
+    if (sched_ == Schedule::TaskDataflow) {
+        // Dataflow overlaps panel chains, updates, and communication; the
+        // residual serialization is (1 - task_overlap).
+        double const overlapped =
+            std::max({t.update, t.panel, t.network});
+        double const serial = (t.update + t.panel + t.network) - overlapped;
+        t.total = overlapped + (1.0 - m_.task_overlap) * serial + t.latency;
+    } else {
+        // Bulk-synchronous: phases add up, idle cores while the panel runs,
+        // and a barrier per panel step.
+        t.barrier = op.panel_steps * m_.forkjoin_barrier_us * 1e-6
+                    * std::log2(std::max(2, P));
+        t.total = (t.update + t.panel) * (1.0 + m_.forkjoin_idle_frac)
+                  + t.network + t.latency + t.barrier;
+    }
+    return t;
+}
+
+TimeBreakdown CostModel::total_time(std::vector<OpSpec> const& ops,
+                                    int sync_points) const {
+    TimeBreakdown sum;
+    for (auto const& op : ops)
+        sum += op_time(op);
+    // Convergence checks synchronize the whole machine.
+    sum.latency += sync_points * m_.net_latency_us * 1e-6
+                   * std::log2(std::max(2, total_devices()));
+    sum.total += sync_points * m_.net_latency_us * 1e-6
+                 * std::log2(std::max(2, total_devices()));
+    return sum;
+}
+
+}  // namespace tbp::perf

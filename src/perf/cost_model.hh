@@ -1,0 +1,95 @@
+// Per-operation cost model for 2D block-cyclic tiled algorithms.
+//
+// Each high-level operation (geqrf, ungqr, gemm, herk, potrf, trsm) is
+// charged:
+//   compute   - update flops at the kernel-class rate of the device, plus a
+//               panel chain whose throughput is panel-efficiency bound (the
+//               lookahead-vs-fork-join distinction lives here);
+//   network   - 2D-distribution communication volume c_w * n^2 / sqrt(P)
+//               words per process plus per-panel message latency, routed
+//               over NVLink/Infinity-Fabric intra-node and the NIC
+//               inter-node, with a host staging penalty when MPI is not
+//               GPU-aware (paper Section 7.2's Summit/Frontier contrast);
+//   schedule  - TaskDataflow overlaps panel/update/comm (max composition,
+//               damped by task_overlap); ForkJoin adds them, loses
+//               forkjoin_idle_frac to idle cores, and pays a barrier per
+//               panel step (the ScaLAPACK bulk-synchronous penalty of
+//               Section 3).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/machine.hh"
+
+namespace tbp::perf {
+
+enum class Schedule { TaskDataflow, ForkJoin };
+
+/// Kernel class determines the efficiency curve applied to a device.
+enum class KernelClass { Gemm, Panel, Trsm, Memcpy };
+
+/// One high-level operation in an algorithm's op stream.
+struct OpSpec {
+    std::string name;
+    double update_flops = 0;  ///< trailing-matrix (compute-bound) flops
+    double panel_flops = 0;   ///< panel-chain (latency-bound) flops
+    double comm_factor = 0;   ///< c_w in words = c_w * n^2 / sqrt(P) per proc
+    double panel_steps = 0;   ///< # of panel steps (messages, barriers)
+    std::int64_t n = 0;       ///< problem dimension driving comm volume
+};
+
+/// Time breakdown for one operation or a whole algorithm (seconds).
+struct TimeBreakdown {
+    double update = 0;
+    double panel = 0;
+    double network = 0;
+    double latency = 0;
+    double barrier = 0;
+    double total = 0;
+
+    TimeBreakdown& operator+=(TimeBreakdown const& o) {
+        update += o.update;
+        panel += o.panel;
+        network += o.network;
+        latency += o.latency;
+        barrier += o.barrier;
+        total += o.total;
+        return *this;
+    }
+};
+
+class CostModel {
+public:
+    CostModel(MachineModel machine, Device device, Schedule schedule, int nb)
+        : m_(std::move(machine)), dev_(device), sched_(schedule), nb_(nb) {}
+
+    MachineModel const& machine() const { return m_; }
+    Device device() const { return dev_; }
+    Schedule schedule() const { return sched_; }
+    int nb() const { return nb_; }
+
+    /// Devices participating (GPUs or a per-core view collapsed to nodes).
+    int total_devices() const;
+
+    /// Effective rate (Gflop/s) of one device for a kernel class, given the
+    /// per-device local dimension (efficiency ramp).
+    double device_rate(KernelClass cls, double n_local) const;
+
+    /// Model the execution time of one operation.
+    TimeBreakdown op_time(OpSpec const& op) const;
+
+    /// Sum a stream of operations (adds per-iteration sync latency).
+    TimeBreakdown total_time(std::vector<OpSpec> const& ops,
+                             int sync_points = 0) const;
+
+private:
+    MachineModel m_;
+    Device dev_;
+    Schedule sched_;
+    int nb_;
+};
+
+}  // namespace tbp::perf

@@ -1,0 +1,70 @@
+#include "perf/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbp::perf {
+
+int MachineModel::ranks() const {
+    // Paper Section 7.1: ScaLAPACK used 1 rank/core; SLATE used a few ranks
+    // per node with all GPUs attached. The model charges communication per
+    // node, so node count is the natural rank unit.
+    return nodes;
+}
+
+double MachineModel::total_gflops(Device d) const {
+    return nodes * (d == Device::Gpu ? gpu_node_gflops() : cpu_node_gflops());
+}
+
+double MachineModel::peak_gflops(Device d) const {
+    return d == Device::Gpu ? nodes * gpus * gpu_peak_gflops
+                            : nodes * cpu_node_gflops() / 0.9;
+}
+
+std::int64_t MachineModel::max_n(Device d, int elem_size) const {
+    double const mem_bytes =
+        (d == Device::Gpu ? nodes * gpus * gpu_mem_gb : nodes * cpu_mem_gb)
+        * 1e9;
+    double const n = std::sqrt(mem_bytes / (workset_matrices * elem_size));
+    return static_cast<std::int64_t>(n);
+}
+
+MachineModel MachineModel::summit(int nodes) {
+    MachineModel m;
+    m.name = "Summit";
+    m.nodes = std::max(nodes, 1);
+    m.cpu_cores = 42;           // 2 x 22 cores minus OS reservation
+    m.cpu_core_gflops = 23.0;   // POWER9 dgemm per core
+    m.gpus = 6;                 // V100
+    m.gpu_gflops = 6300.0;      // ~81% of 7.8 Tflop/s dgemm
+    m.gpu_peak_gflops = 7800.0;
+    m.gpu_mem_gb = 16.0;
+    m.cpu_mem_gb = 512.0;
+    m.net_bw_gbs = 14.0;        // dual-rail EDR, effective for collectives
+    m.net_latency_us = 2.0;
+    m.d2h_bw_gbs = 300.0;       // NVLink CPU<->GPU aggregate
+    m.gpu_aware_mpi = false;    // NIC on the CPU (paper Section 7.2)
+    return m;
+}
+
+MachineModel MachineModel::frontier(int nodes) {
+    MachineModel m;
+    m.name = "Frontier";
+    m.nodes = std::max(nodes, 1);
+    m.cpu_cores = 56;           // 64 minus OS reservation
+    m.cpu_core_gflops = 36.0;   // EPYC Zen3 dgemm per core
+    m.gpus = 8;                 // MI250X GCDs
+    m.gpu_gflops = 11200.0;     // achievable dgemm per GCD
+    m.gpu_peak_gflops = 23950.0;
+    m.gpu_mem_gb = 64.0;
+    m.cpu_mem_gb = 512.0;
+    m.net_bw_gbs = 11.0;        // Slingshot-11, effective for collectives
+    m.net_latency_us = 2.0;
+    m.d2h_bw_gbs = 288.0;       // Infinity Fabric 4 x 36 GB/s x 2 dirs
+    m.gpu_aware_mpi = true;     // NIC attached to the GPUs (Section 5)
+    m.workset_matrices = 33.0;  // fully HBM-resident working set
+    m.gpu_ramp_n = 45000;       // bigger devices need bigger local blocks
+    return m;
+}
+
+}  // namespace tbp::perf

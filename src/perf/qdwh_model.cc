@@ -1,0 +1,73 @@
+#include "perf/qdwh_model.hh"
+
+#include "common/flops.hh"
+
+namespace tbp::perf {
+
+std::vector<OpSpec> qdwh_ops(std::int64_t n, int nb, int it_qr, int it_chol) {
+    double const dn = static_cast<double>(n);
+    double const n2 = dn * dn;
+    double const n3 = n2 * dn;
+    double const steps = dn / nb;
+
+    std::vector<OpSpec> ops;
+
+    // Stage 1: norm2est — a handful of gemv sweeps plus reductions.
+    ops.push_back({"norm2est", 8 * n2, 0, 0.05, 8, n});
+
+    // Stage 2: condition estimate — QR of A plus trcondest's O(n^2) solves.
+    {
+        double const total = flops::geqrf(dn, dn);
+        double const panel = n2 * nb;
+        ops.push_back({"condest_geqrf", total - panel, panel, 1.5, steps, n});
+        ops.push_back({"trcondest", 10 * n2, 0, 0.02, 10, n});
+    }
+
+    // Stage 3a: QR-based iterations on the stacked (2n) x n matrix.
+    for (int k = 0; k < it_qr; ++k) {
+        double const qr_total = flops::geqrf(2 * dn, dn);   // 10/3 n^3
+        double const qr_panel = 3 * n2 * nb;
+        ops.push_back({"qr_geqrf", qr_total - qr_panel, qr_panel, 2.0, steps, n});
+        double const un_total = flops::ungqr(2 * dn, dn, dn);  // 10/3 n^3
+        double const un_panel = 3 * n2 * nb;
+        ops.push_back({"qr_ungqr", un_total - un_panel, un_panel, 2.0, steps, n});
+        ops.push_back({"qr_gemm", 2 * n3, 0, 2.0, steps, n});
+    }
+
+    // Stage 3b: Cholesky-based iterations.
+    for (int k = 0; k < it_chol; ++k) {
+        ops.push_back({"chol_herk", n3, 0, 1.0, steps, n});
+        double const po_total = flops::potrf(dn);  // n^3/3
+        double const po_panel = 0.5 * n2 * nb;
+        ops.push_back({"chol_potrf", po_total - po_panel, po_panel, 0.5, steps, n});
+        // Two right-side triangular solves (A Z^{-1}); trsm trails gemm rate
+        // slightly — folded in as a 1.15x inflation.
+        ops.push_back({"chol_trsm", 2 * n3 * 1.15, 0, 1.0, steps, n});
+    }
+
+    // Stage 4: H = U^H A (+ symmetrization, bandwidth-bound, negligible).
+    ops.push_back({"h_gemm", 2 * n3, 0, 2.0, steps, n});
+
+    return ops;
+}
+
+QdwhPerfResult qdwh_perf(MachineModel const& machine, Device device,
+                         Schedule schedule, std::int64_t n, int nb,
+                         int it_qr, int it_chol) {
+    CostModel cm(machine, device, schedule, nb);
+    auto const ops = qdwh_ops(n, nb, it_qr, it_chol);
+
+    QdwhPerfResult r;
+    r.it_qr = it_qr;
+    r.it_chol = it_chol;
+    // One global sync per iteration (convergence norm) plus setup stages.
+    r.breakdown = cm.total_time(ops, it_qr + it_chol + 4);
+    r.seconds = r.breakdown.total;
+    r.model_flops = flops::qdwh_model(static_cast<double>(n), it_qr, it_chol);
+    r.tflops = r.model_flops / r.seconds / 1e12;
+    r.peak_fraction = r.tflops * 1e12 / (machine.peak_gflops(device) * 1e9);
+    r.fits_memory = n <= machine.max_n(device);
+    return r;
+}
+
+}  // namespace tbp::perf

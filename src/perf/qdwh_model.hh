@@ -1,0 +1,40 @@
+// QDWH end-to-end performance projection: composes the Algorithm 1 op
+// stream (condition estimate, QR-based iterations on the stacked
+// [sqrt(c) A; I], Cholesky-based iterations, H formation) and charges it to
+// a machine/device/schedule through the cost model.
+//
+// Flop accounting matches the paper's Section 4 complexity formula; the
+// reported Tflop/s uses that formula's flops (as performance papers do), so
+// model output is directly comparable to Figures 2-6.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/cost_model.hh"
+#include "perf/machine.hh"
+
+namespace tbp::perf {
+
+struct QdwhPerfResult {
+    double seconds = 0;
+    double tflops = 0;        ///< paper-formula flops / time
+    double model_flops = 0;   ///< Section 4 formula
+    double peak_fraction = 0; ///< tflops / machine peak
+    bool fits_memory = true;
+    int it_qr = 3;
+    int it_chol = 3;
+    TimeBreakdown breakdown;
+};
+
+/// The operation stream of one QDWH run on an n x n matrix.
+std::vector<OpSpec> qdwh_ops(std::int64_t n, int nb, int it_qr, int it_chol);
+
+/// Project a full QDWH run. Defaults model the paper's benchmark case:
+/// ill-conditioned input, 3 QR + 3 Cholesky iterations.
+QdwhPerfResult qdwh_perf(MachineModel const& machine, Device device,
+                         Schedule schedule, std::int64_t n, int nb,
+                         int it_qr = 3, int it_chol = 3);
+
+}  // namespace tbp::perf

@@ -1,0 +1,159 @@
+// Dense reference matrices and naive kernels.
+//
+// This is TBP's stand-in for the serial LAPACK the paper's stack bottoms out
+// in: a plain column-major matrix with unblocked reference implementations.
+// It serves three roles: (1) test oracle for the tiled algorithms, (2) the
+// substrate for the dense baselines (Newton iteration, SVD-based polar
+// decomposition) the paper's related work compares against, and (3) small
+// building blocks (Jacobi EVD/SVD, LU) for the polar->EVD/SVD extensions.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "matrix/tiled_matrix.hh"
+
+namespace tbp::ref {
+
+template <typename T>
+class Dense {
+public:
+    Dense() : m_(0), n_(0) {}
+    Dense(std::int64_t m, std::int64_t n) : m_(m), n_(n),
+        data_(static_cast<size_t>(m) * static_cast<size_t>(n), T(0)) {}
+
+    std::int64_t m() const { return m_; }
+    std::int64_t n() const { return n_; }
+
+    T& operator()(std::int64_t i, std::int64_t j) {
+        return data_[static_cast<size_t>(i) + static_cast<size_t>(j) * m_];
+    }
+    T const& operator()(std::int64_t i, std::int64_t j) const {
+        return data_[static_cast<size_t>(i) + static_cast<size_t>(j) * m_];
+    }
+
+    T* data() { return data_.data(); }
+    T const* data() const { return data_.data(); }
+
+private:
+    std::int64_t m_, n_;
+    std::vector<T> data_;
+};
+
+// --- conversions ----------------------------------------------------------
+
+template <typename T>
+Dense<T> to_dense(TiledMatrix<T> const& A) {
+    Dense<T> D(A.m(), A.n());
+    for (std::int64_t j = 0; j < A.n(); ++j)
+        for (std::int64_t i = 0; i < A.m(); ++i)
+            D(i, j) = A.at(i, j);
+    return D;
+}
+
+template <typename T>
+TiledMatrix<T> to_tiled(Dense<T> const& D, int nb, Grid grid = {}) {
+    TiledMatrix<T> A(D.m(), D.n(), nb, grid);
+    for (std::int64_t j = 0; j < D.n(); ++j)
+        for (std::int64_t i = 0; i < D.m(); ++i)
+            A.at(i, j) = D(i, j);
+    return A;
+}
+
+// --- naive kernels ---------------------------------------------------------
+
+template <typename T>
+Dense<T> gemm(Op opA, Op opB, T alpha, Dense<T> const& A, Dense<T> const& B) {
+    std::int64_t const m = (opA == Op::NoTrans) ? A.m() : A.n();
+    std::int64_t const k = (opA == Op::NoTrans) ? A.n() : A.m();
+    std::int64_t const n = (opB == Op::NoTrans) ? B.n() : B.m();
+    tbp_require(((opB == Op::NoTrans) ? B.m() : B.n()) == k);
+    Dense<T> C(m, n);
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < m; ++i) {
+            T s(0);
+            for (std::int64_t l = 0; l < k; ++l) {
+                T const a = (opA == Op::NoTrans) ? A(i, l) : apply_op(opA, A(l, i));
+                T const b = (opB == Op::NoTrans) ? B(l, j) : apply_op(opB, B(j, l));
+                s += a * b;
+            }
+            C(i, j) = alpha * s;
+        }
+    return C;
+}
+
+template <typename T>
+Dense<T> identity(std::int64_t n) {
+    Dense<T> I(n, n);
+    for (std::int64_t i = 0; i < n; ++i)
+        I(i, i) = T(1);
+    return I;
+}
+
+template <typename T>
+real_t<T> norm_fro(Dense<T> const& A) {
+    real_t<T> s(0);
+    for (std::int64_t j = 0; j < A.n(); ++j)
+        for (std::int64_t i = 0; i < A.m(); ++i)
+            s += abs_sq(A(i, j));
+    return std::sqrt(s);
+}
+
+template <typename T>
+real_t<T> norm_one(Dense<T> const& A) {
+    real_t<T> best(0);
+    for (std::int64_t j = 0; j < A.n(); ++j) {
+        real_t<T> s(0);
+        for (std::int64_t i = 0; i < A.m(); ++i)
+            s += std::abs(A(i, j));
+        best = std::max(best, s);
+    }
+    return best;
+}
+
+template <typename T>
+real_t<T> norm_max(Dense<T> const& A) {
+    real_t<T> best(0);
+    for (std::int64_t j = 0; j < A.n(); ++j)
+        for (std::int64_t i = 0; i < A.m(); ++i)
+            best = std::max(best, std::abs(A(i, j)));
+    return best;
+}
+
+/// ||A - B||_F.
+template <typename T>
+real_t<T> diff_fro(Dense<T> const& A, Dense<T> const& B) {
+    tbp_require(A.m() == B.m() && A.n() == B.n());
+    real_t<T> s(0);
+    for (std::int64_t j = 0; j < A.n(); ++j)
+        for (std::int64_t i = 0; i < A.m(); ++i)
+            s += abs_sq(A(i, j) - B(i, j));
+    return std::sqrt(s);
+}
+
+/// ||I - Q^H Q||_F (orthogonality of columns).
+template <typename T>
+real_t<T> orthogonality(Dense<T> const& Q) {
+    auto G = gemm(Op::ConjTrans, Op::NoTrans, T(1), Q, Q);
+    for (std::int64_t i = 0; i < G.n(); ++i)
+        G(i, i) -= T(1);
+    return norm_fro(G);
+}
+
+/// Random Gaussian dense matrix (reproducible).
+template <typename T>
+Dense<T> random_dense(std::int64_t m, std::int64_t n, std::uint64_t seed) {
+    Dense<T> A(m, n);
+    CounterRng rng(seed);
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < m; ++i)
+            A(i, j) = rng.gaussian<T>(static_cast<std::uint64_t>(i + j * m));
+    return A;
+}
+
+}  // namespace tbp::ref

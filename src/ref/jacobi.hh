@@ -1,0 +1,223 @@
+// Dense Jacobi eigen/singular value solvers.
+//
+// Two-sided Jacobi EVD for Hermitian matrices and one-sided Jacobi SVD for
+// general (m >= n) matrices. These serve as (a) the SVD-based polar
+// decomposition baseline the paper's related work compares against
+// (A = U Sigma V^H => U_p = U V^H, H = V Sigma V^H) and (b) the symmetric
+// eigensolver needed by the polar -> EVD/SVD extensions (Higham &
+// Papadimitriou route, paper Sections 1 and 8).
+//
+// Jacobi is chosen deliberately: unconditionally convergent, high relative
+// accuracy, and trivially verifiable — the right oracle for a reproduction.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/types.hh"
+#include "ref/dense.hh"
+
+namespace tbp::ref {
+
+/// 2x2 unitary that diagonalizes the Hermitian matrix [[app, apq],
+/// [conj(apq), aqq]] (app, aqq real). Returns J = {j11, j12, j21, j22} with
+/// J^H M J diagonal.
+template <typename T>
+struct Rot2 {
+    T j11, j12, j21, j22;
+};
+
+template <typename T>
+Rot2<T> hermitian_rot(real_t<T> app, real_t<T> aqq, T apq) {
+    using R = real_t<T>;
+    R const norm = std::abs(apq);
+    if (norm == R(0))
+        return {T(1), T(0), T(0), T(1)};
+    // Phase factor making the off-diagonal real: conj(apq)/|apq|.
+    T const phase = conj_val(apq) / from_real<T>(norm);
+    R const tau = (aqq - app) / (R(2) * norm);
+    R const t = (tau >= R(0) ? R(1) : R(-1))
+                / (std::abs(tau) + std::sqrt(R(1) + tau * tau));
+    R const c = R(1) / std::sqrt(R(1) + t * t);
+    R const s = t * c;
+    // J = diag(1, phase) * [[c, s], [-s, c]]
+    return {from_real<T>(c), from_real<T>(s),
+            from_real<T>(-s) * phase, from_real<T>(c) * phase};
+}
+
+struct JacobiOptions {
+    int max_sweeps = 60;
+    double tol_factor = 10.0;  ///< convergence at tol_factor * eps * ||A||_F
+};
+
+/// Hermitian eigendecomposition A = V diag(w) V^H by cyclic two-sided
+/// Jacobi. A is overwritten; eigenvalues return ascending in w, matching
+/// columns of V. Throws if sweeps are exhausted (does not happen for
+/// Hermitian input).
+template <typename T>
+void jacobi_eig(Dense<T>& A, std::vector<real_t<T>>& w, Dense<T>& V,
+                JacobiOptions const& opt = {}) {
+    using R = real_t<T>;
+    std::int64_t const n = A.n();
+    tbp_require(A.m() == n);
+    V = identity<T>(n);
+    w.assign(static_cast<size_t>(n), R(0));
+    if (n == 0)
+        return;
+
+    R const anorm = norm_fro(A);
+    R const tol = static_cast<R>(opt.tol_factor)
+                  * std::numeric_limits<R>::epsilon() * (anorm + R(1));
+
+    for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+        R off(0);
+        for (std::int64_t q = 1; q < n; ++q)
+            for (std::int64_t p = 0; p < q; ++p)
+                off += abs_sq(A(p, q));
+        if (std::sqrt(R(2) * off) <= tol)
+            break;
+        if (sweep == opt.max_sweeps - 1)
+            tbp_throw("jacobi_eig: did not converge");
+
+        for (std::int64_t q = 1; q < n; ++q) {
+            for (std::int64_t p = 0; p < q; ++p) {
+                if (std::abs(A(p, q)) <= tol / static_cast<R>(n))
+                    continue;
+                auto J = hermitian_rot<T>(real_part(A(p, p)),
+                                          real_part(A(q, q)), A(p, q));
+                // A := A J (columns p, q).
+                for (std::int64_t k = 0; k < n; ++k) {
+                    T const akp = A(k, p), akq = A(k, q);
+                    A(k, p) = akp * J.j11 + akq * J.j21;
+                    A(k, q) = akp * J.j12 + akq * J.j22;
+                }
+                // A := J^H A (rows p, q).
+                for (std::int64_t k = 0; k < n; ++k) {
+                    T const apk = A(p, k), aqk = A(q, k);
+                    A(p, k) = conj_val(J.j11) * apk + conj_val(J.j21) * aqk;
+                    A(q, k) = conj_val(J.j12) * apk + conj_val(J.j22) * aqk;
+                }
+                // V := V J.
+                for (std::int64_t k = 0; k < n; ++k) {
+                    T const vkp = V(k, p), vkq = V(k, q);
+                    V(k, p) = vkp * J.j11 + vkq * J.j21;
+                    V(k, q) = vkp * J.j12 + vkq * J.j22;
+                }
+            }
+        }
+    }
+
+    for (std::int64_t i = 0; i < n; ++i)
+        w[static_cast<size_t>(i)] = real_part(A(i, i));
+
+    // Sort ascending, permuting V's columns alongside.
+    std::vector<std::int64_t> idx(static_cast<size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::int64_t a, std::int64_t b) {
+        return w[static_cast<size_t>(a)] < w[static_cast<size_t>(b)];
+    });
+    std::vector<R> ws(w);
+    Dense<T> Vs(n, n);
+    for (std::int64_t j = 0; j < n; ++j) {
+        w[static_cast<size_t>(j)] = ws[static_cast<size_t>(idx[static_cast<size_t>(j)])];
+        for (std::int64_t i = 0; i < n; ++i)
+            Vs(i, j) = V(i, idx[static_cast<size_t>(j)]);
+    }
+    V = Vs;
+}
+
+/// Thin SVD A = U diag(s) V^H by one-sided Jacobi (m >= n). U is m-by-n
+/// with orthonormal columns, s descending, V n-by-n unitary.
+template <typename T>
+void jacobi_svd(Dense<T> A, Dense<T>& U, std::vector<real_t<T>>& s,
+                Dense<T>& V, JacobiOptions const& opt = {}) {
+    using R = real_t<T>;
+    std::int64_t const m = A.m();
+    std::int64_t const n = A.n();
+    tbp_require(m >= n);
+    V = identity<T>(n);
+
+    for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+        bool rotated = false;
+        for (std::int64_t q = 1; q < n; ++q) {
+            for (std::int64_t p = 0; p < q; ++p) {
+                // Gram entries of columns p, q.
+                R app(0), aqq(0);
+                T apq(0);
+                for (std::int64_t k = 0; k < m; ++k) {
+                    app += abs_sq(A(k, p));
+                    aqq += abs_sq(A(k, q));
+                    apq += conj_val(A(k, p)) * A(k, q);
+                }
+                // Relative stopping criterion (de Rijk): columns p, q are
+                // numerically orthogonal. An absolute cutoff would skip
+                // rotations among tiny columns and wreck U's orthogonality
+                // for ill-conditioned input.
+                if (app == R(0) || aqq == R(0)
+                    || std::abs(apq) <= std::numeric_limits<R>::epsilon()
+                                            * std::sqrt(app * aqq) * R(4))
+                    continue;
+                rotated = true;
+                auto J = hermitian_rot<T>(app, aqq, apq);
+                for (std::int64_t k = 0; k < m; ++k) {
+                    T const akp = A(k, p), akq = A(k, q);
+                    A(k, p) = akp * J.j11 + akq * J.j21;
+                    A(k, q) = akp * J.j12 + akq * J.j22;
+                }
+                for (std::int64_t k = 0; k < n; ++k) {
+                    T const vkp = V(k, p), vkq = V(k, q);
+                    V(k, p) = vkp * J.j11 + vkq * J.j21;
+                    V(k, q) = vkp * J.j12 + vkq * J.j22;
+                }
+            }
+        }
+        if (!rotated)
+            break;
+        if (sweep == opt.max_sweeps - 1)
+            tbp_throw("jacobi_svd: did not converge");
+    }
+
+    // Extract singular values and left vectors.
+    s.assign(static_cast<size_t>(n), R(0));
+    U = Dense<T>(m, n);
+    for (std::int64_t j = 0; j < n; ++j) {
+        R nrm(0);
+        for (std::int64_t k = 0; k < m; ++k)
+            nrm += abs_sq(A(k, j));
+        nrm = std::sqrt(nrm);
+        s[static_cast<size_t>(j)] = nrm;
+        if (nrm > R(0)) {
+            for (std::int64_t k = 0; k < m; ++k)
+                U(k, j) = A(k, j) / from_real<T>(nrm);
+        } else {
+            U(j, j) = T(1);  // arbitrary unit vector for a null column
+        }
+    }
+
+    // Sort descending.
+    std::vector<std::int64_t> idx(static_cast<size_t>(n));
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::int64_t a, std::int64_t b) {
+        return s[static_cast<size_t>(a)] > s[static_cast<size_t>(b)];
+    });
+    std::vector<R> ss(s);
+    Dense<T> Us(m, n), Vs(n, n);
+    for (std::int64_t j = 0; j < n; ++j) {
+        auto const src = idx[static_cast<size_t>(j)];
+        s[static_cast<size_t>(j)] = ss[static_cast<size_t>(src)];
+        for (std::int64_t i = 0; i < m; ++i)
+            Us(i, j) = U(i, src);
+        for (std::int64_t i = 0; i < n; ++i)
+            Vs(i, j) = V(i, src);
+    }
+    U = Us;
+    V = Vs;
+}
+
+}  // namespace tbp::ref

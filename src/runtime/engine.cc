@@ -1,0 +1,227 @@
+#include "runtime/engine.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/timer.hh"
+
+namespace tbp::rt {
+
+struct Engine::Task {
+    std::function<void()> fn;
+    std::string name;
+    double flops = 0;
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> dep_ids;
+
+    // Scheduling state.
+    std::mutex mtx;
+    bool done = false;
+    std::atomic<int> unresolved{1};  // +1 submission guard
+    std::vector<Task*> successors;   // guarded by mtx until done
+};
+
+struct Engine::ObjectState {
+    Task* last_writer = nullptr;
+    std::vector<Task*> readers_since_write;
+};
+
+Engine::Engine(int num_threads, Mode mode) : mode_(mode) {
+    if (mode_ == Mode::Sequential)
+        return;
+    int n = num_threads;
+    if (n <= 0) {
+        n = static_cast<int>(std::thread::hardware_concurrency());
+        if (n <= 0)
+            n = 2;
+    }
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Engine::~Engine() {
+    if (mode_ == Mode::Sequential)
+        return;
+    try {
+        wait();
+    } catch (...) {
+        // Destructor must not throw; errors were the caller's to collect.
+    }
+    {
+        std::lock_guard<std::mutex> lk(queue_mtx_);
+        shutdown_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void Engine::submit(char const* name, double flops,
+                    std::vector<Access> accesses, std::function<void()> fn) {
+    if (mode_ == Mode::Sequential) {
+        double const t0 = wall_time();
+        fn();
+        double const t1 = wall_time();
+        tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(stats_mtx_);
+            flops_executed_ += flops;
+        }
+        if (trace_on_) {
+            std::lock_guard<std::mutex> lk(trace_mtx_);
+            trace_.push_back({name, flops, t0, t1, 0, next_id_++, {}});
+        }
+        return;
+    }
+
+    auto t = std::make_unique<Task>();
+    t->fn = std::move(fn);
+    t->name = name;
+    t->flops = flops;
+    t->id = next_id_++;
+
+    // Derive dependencies superscalar-style from the access list.
+    auto add_dep = [&](Task* pred) {
+        if (pred == nullptr || pred == t.get())
+            return;
+        std::lock_guard<std::mutex> lk(pred->mtx);
+        if (!pred->done) {
+            pred->successors.push_back(t.get());
+            t->unresolved.fetch_add(1, std::memory_order_relaxed);
+        }
+        t->dep_ids.push_back(pred->id);
+    };
+
+    for (auto const& a : accesses) {
+        ObjectState& st = objects_[a.key];
+        if (a.mode == AccessMode::Read) {
+            add_dep(st.last_writer);
+            st.readers_since_write.push_back(t.get());
+        } else {
+            // Write / ReadWrite: after the last writer and all readers.
+            add_dep(st.last_writer);
+            for (Task* r : st.readers_since_write)
+                add_dep(r);
+            st.readers_since_write.clear();
+            st.last_writer = t.get();
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(queue_mtx_);
+        ++outstanding_;
+    }
+
+    Task* raw = t.get();
+    all_tasks_.push_back(std::move(t));
+
+    // Drop the submission guard; enqueue if all inputs resolved.
+    if (raw->unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        make_ready(raw);
+}
+
+void Engine::make_ready(Task* t) {
+    {
+        std::lock_guard<std::mutex> lk(queue_mtx_);
+        ready_.push_back(t);
+    }
+    queue_cv_.notify_one();
+}
+
+void Engine::worker_loop(int worker_id) {
+    for (;;) {
+        Task* t = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(queue_mtx_);
+            queue_cv_.wait(lk, [&] { return shutdown_ || !ready_.empty(); });
+            if (shutdown_ && ready_.empty())
+                return;
+            t = ready_.front();
+            ready_.pop_front();
+        }
+        run_task(t, worker_id);
+    }
+}
+
+void Engine::run_task(Task* t, int worker_id) {
+    double const t0 = wall_time();
+    try {
+        t->fn();
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mtx_);
+        if (!first_error_)
+            first_error_ = std::current_exception();
+    }
+    double const t1 = wall_time();
+
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lk(stats_mtx_);
+        flops_executed_ += t->flops;
+    }
+    if (trace_on_) {
+        std::lock_guard<std::mutex> lk(trace_mtx_);
+        trace_.push_back({t->name, t->flops, t0, t1, worker_id, t->id, t->dep_ids});
+    }
+
+    std::vector<Task*> succ;
+    {
+        std::lock_guard<std::mutex> lk(t->mtx);
+        t->done = true;
+        succ.swap(t->successors);
+    }
+    for (Task* s : succ) {
+        if (s->unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            make_ready(s);
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(queue_mtx_);
+        --outstanding_;
+        if (outstanding_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+void Engine::wait() {
+    if (mode_ != Mode::Sequential) {
+        std::unique_lock<std::mutex> lk(queue_mtx_);
+        idle_cv_.wait(lk, [&] { return outstanding_ == 0; });
+    }
+    // Fresh dependency epoch; tasks are retired.
+    objects_.clear();
+    all_tasks_.clear();
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lk(error_mtx_);
+        std::swap(err, first_error_);
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void Engine::op_fence() {
+    if (mode_ != Mode::TaskDataflow)
+        wait();
+}
+
+double Engine::flops_executed() const {
+    std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(stats_mtx_));
+    return flops_executed_;
+}
+
+void Engine::reset_stats() {
+    tasks_executed_.store(0);
+    std::lock_guard<std::mutex> lk(stats_mtx_);
+    flops_executed_ = 0;
+}
+
+void Engine::set_trace(bool on) { trace_on_ = on; }
+
+void Engine::clear_trace() {
+    std::lock_guard<std::mutex> lk(trace_mtx_);
+    trace_.clear();
+}
+
+}  // namespace tbp::rt

@@ -1,0 +1,144 @@
+// Superscalar dataflow task engine.
+//
+// This is TBP's stand-in for SLATE's "OpenMP tasks to track data
+// dependencies" (paper abstract): the algorithm layer submits tasks in
+// sequential program order, each declaring read/write accesses on tile data
+// pointers, and the engine derives RAW/WAR/WAW dependencies exactly like an
+// OpenMP `depend(in/out/inout)` region, then executes ready tasks on a
+// thread pool. Lookahead across panels, updates, and successive operations
+// emerges from the dataflow, as in SLATE.
+//
+// Execution modes:
+//   Sequential  - submit() runs the task inline (debugging, references)
+//   TaskDataflow- full asynchronous dataflow (the paper's SLATE mode)
+//   ForkJoin    - same engine, but the algorithm layer's op_fence() becomes
+//                 a full barrier after every high-level operation. This
+//                 reproduces the bulk-synchronous fork-join schedule of
+//                 ScaLAPACK/POLAR that Section 3 identifies as the
+//                 state-of-the-art's bottleneck.
+//
+// The engine can also record a trace (task names, flop counts, dependency
+// edges, start/end times, worker ids) consumed by the performance-model
+// replay in src/perf/.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace tbp::rt {
+
+enum class Mode { Sequential, TaskDataflow, ForkJoin };
+
+enum class AccessMode { Read, Write, ReadWrite };
+
+/// One data access of a task: a key (tile data pointer) plus a mode.
+struct Access {
+    void const* key;
+    AccessMode mode;
+};
+
+inline Access read(void const* key) { return {key, AccessMode::Read}; }
+inline Access write(void const* key) { return {key, AccessMode::Write}; }
+inline Access readwrite(void const* key) { return {key, AccessMode::ReadWrite}; }
+
+/// Trace record of one executed task (for tests and the perf replay).
+struct TaskRecord {
+    std::string name;
+    double flops = 0;
+    double t_start = 0;
+    double t_end = 0;
+    int worker = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> deps;  // ids of predecessor tasks
+};
+
+class Engine {
+public:
+    /// num_threads <= 0 picks std::thread::hardware_concurrency().
+    explicit Engine(int num_threads = 0, Mode mode = Mode::TaskDataflow);
+    ~Engine();
+
+    Engine(Engine const&) = delete;
+    Engine& operator=(Engine const&) = delete;
+
+    Mode mode() const { return mode_; }
+    int num_threads() const { return static_cast<int>(workers_.size()); }
+
+    /// Submit a task. Must be called from a single submitter thread (the
+    /// algorithm driver), as with OpenMP task regions.
+    void submit(char const* name, double flops, std::vector<Access> accesses,
+                std::function<void()> fn);
+
+    /// Convenience overload without cost metadata.
+    void submit(char const* name, std::vector<Access> accesses,
+                std::function<void()> fn) {
+        submit(name, 0.0, std::move(accesses), std::move(fn));
+    }
+
+    /// Wait for every submitted task to finish. Rethrows the first exception
+    /// thrown by any task. Clears the dependency table (a fresh epoch).
+    void wait();
+
+    /// Barrier inserted by the algorithm layer between high-level operations.
+    /// A no-op under TaskDataflow (lookahead allowed); a full wait() under
+    /// ForkJoin and Sequential.
+    void op_fence();
+
+    // --- statistics -------------------------------------------------------
+    std::uint64_t tasks_executed() const { return tasks_executed_.load(); }
+    double flops_executed() const;
+    void reset_stats();
+
+    // --- tracing ----------------------------------------------------------
+    void set_trace(bool on);
+    bool tracing() const { return trace_on_; }
+    /// Trace of the tasks executed since set_trace(true). Call after wait().
+    std::vector<TaskRecord> const& trace() const { return trace_; }
+    void clear_trace();
+
+private:
+    struct Task;
+    struct ObjectState;
+
+    void worker_loop(int worker_id);
+    void run_task(Task* t, int worker_id);
+    void make_ready(Task* t);
+
+    Mode mode_;
+    std::vector<std::thread> workers_;
+
+    std::mutex queue_mtx_;
+    std::condition_variable queue_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<Task*> ready_;
+    bool shutdown_ = false;
+    std::uint64_t outstanding_ = 0;  // guarded by queue_mtx_
+
+    // Dependency bookkeeping; touched only by the submitter thread.
+    std::unordered_map<void const*, ObjectState> objects_;
+    std::vector<std::unique_ptr<Task>> all_tasks_;
+    std::uint64_t next_id_ = 0;
+
+    std::atomic<std::uint64_t> tasks_executed_{0};
+    std::mutex stats_mtx_;
+    double flops_executed_ = 0;  // guarded by stats_mtx_
+
+    bool trace_on_ = false;
+    std::mutex trace_mtx_;
+    std::vector<TaskRecord> trace_;
+
+    std::mutex error_mtx_;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace tbp::rt

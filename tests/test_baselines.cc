@@ -1,0 +1,114 @@
+// Polar decomposition baselines (Newton iteration, SVD route) and their
+// agreement with QDWH — the cross-algorithm consistency the paper's
+// related-work comparisons assume.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hh"
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class Baselines : public ::testing::Test {};
+TYPED_TEST_SUITE(Baselines, test::AllTypes);
+
+namespace {
+
+template <typename T>
+void check_polar(ref::Dense<T> const& A, ref::Dense<T> const& U,
+                 ref::Dense<T> const& H, double tol_factor) {
+    using R = real_t<T>;
+    auto const n = U.n();
+    EXPECT_LE(ref::orthogonality(U) / std::sqrt(static_cast<R>(n)),
+              test::tol<T>(tol_factor));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, H);
+    EXPECT_LE(ref::diff_fro(UH, A) / ref::norm_fro(A), test::tol<T>(tol_factor));
+}
+
+}  // namespace
+
+TYPED_TEST(Baselines, NewtonPolarModerateCondition) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;
+    opt.seed = 101;
+    int const n = 16;
+    auto A = ref::to_dense(gen::cond_matrix<T>(eng, n, n, 8, opt));
+    ref::Dense<T> U, H;
+    auto info = newton_polar(A, U, H);
+    // Newton's explicit inversions lose ~kappa * eps accuracy — exactly the
+    // weakness motivating inverse-free QDWH (paper Section 3); accept the
+    // kappa-proportional error band here.
+    check_polar(A, U, H, 1e5);
+    EXPECT_LE(info.iterations, 12);  // scaled Newton converges in < ~10
+}
+
+TYPED_TEST(Baselines, SvdPolarIllConditioned) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.cond = test::ill_cond<T>();
+    opt.seed = 102;
+    int const n = 14;
+    auto A = ref::to_dense(gen::cond_matrix<T>(eng, n, n, 8, opt));
+    ref::Dense<T> U, H;
+    svd_polar(A, U, H);
+    check_polar(A, U, H, 500);
+}
+
+TYPED_TEST(Baselines, SvdPolarRectangular) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.cond = 1e3;
+    opt.seed = 103;
+    auto A = ref::to_dense(gen::cond_matrix<T>(eng, 19, 8, 8, opt));
+    ref::Dense<T> U, H;
+    svd_polar(A, U, H);
+    check_polar(A, U, H, 500);
+}
+
+TYPED_TEST(Baselines, AllThreeAlgorithmsAgree) {
+    // QDWH, Newton and SVD-PD must compute the same U_p (it is unique for
+    // nonsingular A).
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 1e3;
+    opt.seed = 104;
+    int const n = 12, nb = 4;
+    auto At = gen::cond_matrix<T>(eng, n, n, nb, opt);
+    auto Ad = ref::to_dense(At);
+
+    TiledMatrix<T> Hq(n, n, nb);
+    qdwh(eng, At, Hq);
+    auto Uq = ref::to_dense(At);
+
+    ref::Dense<T> Un, Hn, Us, Hs;
+    newton_polar(Ad, Un, Hn);
+    svd_polar(Ad, Us, Hs);
+
+    EXPECT_LE(ref::diff_fro(Uq, Un), test::tol<T>(50000));
+    EXPECT_LE(ref::diff_fro(Uq, Us), test::tol<T>(50000));
+    EXPECT_LE(ref::diff_fro(ref::to_dense(Hq), Hn),
+              test::tol<T>(50000) * (1 + ref::norm_fro(Hn)));
+}
+
+TYPED_TEST(Baselines, NewtonHIsHermitian) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.cond = 100;
+    opt.seed = 105;
+    int const n = 10;
+    auto A = ref::to_dense(gen::cond_matrix<T>(eng, n, n, 4, opt));
+    ref::Dense<T> U, H;
+    newton_polar(A, U, H);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+            EXPECT_LE(std::abs(H(i, j) - conj_val(H(j, i))), test::tol<T>(10));
+}

@@ -1,0 +1,122 @@
+// Tile-level gemm/gemv vs the dense reference, across all four scalar types
+// and all op combinations.
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class BlasGemm : public ::testing::Test {};
+TYPED_TEST_SUITE(BlasGemm, test::AllTypes);
+
+namespace {
+
+template <typename T>
+Tile<T> as_tile(ref::Dense<T>& D) {
+    return Tile<T>(D.data(), static_cast<int>(D.m()), static_cast<int>(D.n()),
+                   static_cast<int>(D.m()));
+}
+
+template <typename T>
+void check_gemm(Op opA, Op opB, int m, int n, int k) {
+    auto A = (opA == Op::NoTrans) ? ref::random_dense<T>(m, k, 1)
+                                  : ref::random_dense<T>(k, m, 1);
+    auto B = (opB == Op::NoTrans) ? ref::random_dense<T>(k, n, 2)
+                                  : ref::random_dense<T>(n, k, 2);
+    auto C = ref::random_dense<T>(m, n, 3);
+    auto Cref = C;
+
+    T const alpha = from_real<T>(real_t<T>(1.5));
+    T const beta = from_real<T>(real_t<T>(-0.5));
+
+    // Reference: Cref = alpha op(A) op(B) + beta Cref.
+    auto P = ref::gemm(opA, opB, alpha, A, B);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            Cref(i, j) = P(i, j) + beta * Cref(i, j);
+
+    blas::gemm(opA, opB, alpha, as_tile(A), as_tile(B), beta, as_tile(C));
+    EXPECT_LE(ref::diff_fro(C, Cref), test::tol<T>(100) * (1 + ref::norm_fro(Cref)));
+}
+
+}  // namespace
+
+TYPED_TEST(BlasGemm, NoTransNoTrans) {
+    check_gemm<TypeParam>(Op::NoTrans, Op::NoTrans, 13, 9, 7);
+}
+
+TYPED_TEST(BlasGemm, NoTransConjTrans) {
+    check_gemm<TypeParam>(Op::NoTrans, Op::ConjTrans, 13, 9, 7);
+}
+
+TYPED_TEST(BlasGemm, ConjTransNoTrans) {
+    check_gemm<TypeParam>(Op::ConjTrans, Op::NoTrans, 13, 9, 7);
+}
+
+TYPED_TEST(BlasGemm, ConjTransConjTrans) {
+    check_gemm<TypeParam>(Op::ConjTrans, Op::ConjTrans, 8, 12, 5);
+}
+
+TYPED_TEST(BlasGemm, TransTrans) {
+    check_gemm<TypeParam>(Op::Trans, Op::Trans, 6, 6, 6);
+}
+
+TYPED_TEST(BlasGemm, BetaZeroOverwritesGarbage) {
+    using T = TypeParam;
+    auto A = ref::random_dense<T>(4, 3, 1);
+    auto B = ref::random_dense<T>(3, 5, 2);
+    ref::Dense<T> C(4, 5);
+    for (int j = 0; j < 5; ++j)
+        for (int i = 0; i < 4; ++i)
+            C(i, j) = from_real<T>(real_t<T>(1e30f));  // must be ignored
+    blas::gemm(Op::NoTrans, Op::NoTrans, T(1), as_tile(A), as_tile(B), T(0),
+               as_tile(C));
+    auto Cref = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), A, B);
+    EXPECT_LE(ref::diff_fro(C, Cref), test::tol<T>(100) * (1 + ref::norm_fro(Cref)));
+}
+
+TYPED_TEST(BlasGemm, AlphaZeroScalesOnly) {
+    using T = TypeParam;
+    auto A = ref::random_dense<T>(4, 4, 1);
+    auto B = ref::random_dense<T>(4, 4, 2);
+    auto C = ref::random_dense<T>(4, 4, 3);
+    auto Cref = C;
+    blas::gemm(Op::NoTrans, Op::NoTrans, T(0), as_tile(A), as_tile(B), T(2),
+               as_tile(C));
+    for (int j = 0; j < 4; ++j)
+        for (int i = 0; i < 4; ++i)
+            Cref(i, j) *= T(2);
+    EXPECT_LE(ref::diff_fro(C, Cref), test::tol<T>());
+}
+
+TYPED_TEST(BlasGemm, GemvMatchesGemm) {
+    using T = TypeParam;
+    int const m = 9, n = 6;
+    auto A = ref::random_dense<T>(m, n, 4);
+    auto x = ref::random_dense<T>(n, 1, 5);
+    ref::Dense<T> y(m, 1);
+    blas::gemv(Op::NoTrans, T(1), as_tile(A), x.data(), T(0), y.data());
+    auto yref = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), A, x);
+    EXPECT_LE(ref::diff_fro(y, yref), test::tol<T>() * (1 + ref::norm_fro(yref)));
+
+    ref::Dense<T> z(n, 1);
+    auto xm = ref::random_dense<T>(m, 1, 6);
+    blas::gemv(Op::ConjTrans, T(1), as_tile(A), xm.data(), T(0), z.data());
+    auto zref = ref::gemm(Op::ConjTrans, Op::NoTrans, T(1), A, xm);
+    EXPECT_LE(ref::diff_fro(z, zref), test::tol<T>() * (1 + ref::norm_fro(zref)));
+}
+
+TYPED_TEST(BlasGemm, KZero) {
+    using T = TypeParam;
+    ref::Dense<T> A(3, 0), B(0, 3);
+    auto C = ref::random_dense<T>(3, 3, 7);
+    auto Cref = C;
+    blas::gemm(Op::NoTrans, Op::NoTrans, T(1),
+               Tile<T>(A.data(), 3, 0, 3), Tile<T>(B.data(), 0, 3, 1), T(1),
+               as_tile(C));
+    EXPECT_LE(ref::diff_fro(C, Cref), test::tol<T>());
+}

@@ -1,0 +1,233 @@
+// Householder kernels: larfg, geqrt, unmqr, tsqrt, tsmqr.
+//
+// These validate the compact-WY conventions the tile QR relies on:
+// orthogonality of Q, reconstruction A = Q R, and consistency between
+// applying Q via unmqr/tsmqr and the explicitly assembled block reflector.
+
+#include <gtest/gtest.h>
+
+#include "blas/householder.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class Householder : public ::testing::Test {};
+TYPED_TEST_SUITE(Householder, test::AllTypes);
+
+namespace {
+
+template <typename T>
+Tile<T> as_tile(ref::Dense<T>& D) {
+    return Tile<T>(D.data(), static_cast<int>(D.m()), static_cast<int>(D.n()),
+                   static_cast<int>(D.m()));
+}
+
+/// Assemble Q = I - V T V^H (mb x mb) from a geqrt-factored tile.
+template <typename T>
+ref::Dense<T> assemble_q(ref::Dense<T> const& Vfac, ref::Dense<T> const& Tf) {
+    int const mb = static_cast<int>(Vfac.m());
+    int const k = static_cast<int>(std::min(Vfac.m(), Vfac.n()));
+    ref::Dense<T> V(mb, k);
+    for (int j = 0; j < k; ++j) {
+        V(j, j) = T(1);
+        for (int i = j + 1; i < mb; ++i)
+            V(i, j) = Vfac(i, j);
+    }
+    ref::Dense<T> Tk(k, k);
+    for (int j = 0; j < k; ++j)
+        for (int i = 0; i <= j; ++i)
+            Tk(i, j) = Tf(i, j);
+    auto VT = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), V, Tk);
+    auto VTVh = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), VT, V);
+    auto Q = ref::identity<T>(mb);
+    for (int j = 0; j < mb; ++j)
+        for (int i = 0; i < mb; ++i)
+            Q(i, j) -= VTVh(i, j);
+    return Q;
+}
+
+}  // namespace
+
+TYPED_TEST(Householder, LarfgAnnihilates) {
+    using T = TypeParam;
+    using R = real_t<T>;
+    int const n = 7;
+    auto x = ref::random_dense<T>(n, 1, 1);
+    auto x0 = x;
+    auto r = blas::larfg(x(0, 0), n - 1, &x(1, 0));
+    // v = [1; x(1:)], check (I - tau v v^H)^H x0 == beta e1.
+    ref::Dense<T> v(n, 1);
+    v(0, 0) = T(1);
+    for (int i = 1; i < n; ++i)
+        v(i, 0) = x(i, 0);
+    // y = x0 - conj(tau) v (v^H x0)
+    T vhx(0);
+    for (int i = 0; i < n; ++i)
+        vhx += conj_val(v(i, 0)) * x0(i, 0);
+    ref::Dense<T> y(n, 1);
+    for (int i = 0; i < n; ++i)
+        y(i, 0) = x0(i, 0) - conj_val(r.tau) * v(i, 0) * vhx;
+    EXPECT_NEAR(std::abs(y(0, 0) - from_real<T>(r.beta)), R(0), test::tol<T>(50));
+    for (int i = 1; i < n; ++i)
+        EXPECT_NEAR(std::abs(y(i, 0)), R(0), test::tol<T>(50));
+    // beta preserves the 2-norm.
+    EXPECT_NEAR(std::abs(r.beta), ref::norm_fro(x0), test::tol<T>(50) * ref::norm_fro(x0));
+}
+
+TYPED_TEST(Householder, LarfgZeroTail) {
+    using T = TypeParam;
+    T alpha = T(3);
+    auto r = blas::larfg<T>(alpha, 0, nullptr);
+    EXPECT_EQ(r.tau, T(0));
+    EXPECT_EQ(r.beta, real_t<T>(3));
+}
+
+TYPED_TEST(Householder, GeqrtReconstructs) {
+    using T = TypeParam;
+    for (auto [mb, nb] : {std::pair{10, 6}, {8, 8}, {5, 9}}) {
+        auto A = ref::random_dense<T>(mb, nb, 2);
+        auto A0 = A;
+        int const k = std::min(mb, nb);
+        ref::Dense<T> Tf(k, k);
+        blas::geqrt(as_tile(A), as_tile(Tf));
+
+        auto Q = assemble_q(A, Tf);
+        // Q unitary.
+        EXPECT_LE(ref::orthogonality(Q), test::tol<T>(200) * mb);
+        // R = upper triangle/trapezoid of A.
+        ref::Dense<T> R(mb, nb);
+        for (int j = 0; j < nb; ++j)
+            for (int i = 0; i <= std::min(j, mb - 1); ++i)
+                R(i, j) = A(i, j);
+        auto QR = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Q, R);
+        EXPECT_LE(ref::diff_fro(QR, A0),
+                  test::tol<T>(500) * (1 + ref::norm_fro(A0)));
+    }
+}
+
+TYPED_TEST(Householder, UnmqrMatchesAssembledQ) {
+    using T = TypeParam;
+    int const mb = 9, nb = 5, nn = 4;
+    auto A = ref::random_dense<T>(mb, nb, 3);
+    ref::Dense<T> Tf(nb, nb);
+    blas::geqrt(as_tile(A), as_tile(Tf));
+    auto Q = assemble_q(A, Tf);
+
+    auto C = ref::random_dense<T>(mb, nn, 4);
+    auto C1 = C, C2 = C;
+
+    blas::unmqr(Op::ConjTrans, as_tile(A), as_tile(Tf), as_tile(C1));
+    auto Cref = ref::gemm(Op::ConjTrans, Op::NoTrans, T(1), Q, C);
+    EXPECT_LE(ref::diff_fro(C1, Cref), test::tol<T>(500) * (1 + ref::norm_fro(C)));
+
+    blas::unmqr(Op::NoTrans, as_tile(A), as_tile(Tf), as_tile(C2));
+    auto Cref2 = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Q, C);
+    EXPECT_LE(ref::diff_fro(C2, Cref2), test::tol<T>(500) * (1 + ref::norm_fro(C)));
+}
+
+TYPED_TEST(Householder, UnmqrRoundTrip) {
+    // Q^H (Q C) == C.
+    using T = TypeParam;
+    int const mb = 8, nb = 8, nn = 3;
+    auto A = ref::random_dense<T>(mb, nb, 5);
+    ref::Dense<T> Tf(nb, nb);
+    blas::geqrt(as_tile(A), as_tile(Tf));
+    auto C = ref::random_dense<T>(mb, nn, 6);
+    auto X = C;
+    blas::unmqr(Op::NoTrans, as_tile(A), as_tile(Tf), as_tile(X));
+    blas::unmqr(Op::ConjTrans, as_tile(A), as_tile(Tf), as_tile(X));
+    EXPECT_LE(ref::diff_fro(X, C), test::tol<T>(500) * (1 + ref::norm_fro(C)));
+}
+
+TYPED_TEST(Householder, TsqrtReconstructs) {
+    using T = TypeParam;
+    int const n = 6, m2 = 8;
+    // Top: an upper-triangular R1 (as produced by geqrt).
+    auto A1 = ref::random_dense<T>(n, n, 7);
+    for (int j = 0; j < n; ++j)
+        for (int i = j + 1; i < n; ++i)
+            A1(i, j) = T(0);
+    auto A2 = ref::random_dense<T>(m2, n, 8);
+    auto A1_0 = A1;
+    auto A2_0 = A2;
+
+    ref::Dense<T> Tf(n, n);
+    blas::tsqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+
+    // Assemble Q = I - [E; V2] T [E; V2]^H of size (n + m2).
+    int const M = n + m2;
+    ref::Dense<T> V(M, n);
+    for (int j = 0; j < n; ++j) {
+        V(j, j) = T(1);
+        for (int i = 0; i < m2; ++i)
+            V(n + i, j) = A2(i, j);
+    }
+    ref::Dense<T> Tk(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j; ++i)
+            Tk(i, j) = Tf(i, j);
+    auto VT = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), V, Tk);
+    auto VTVh = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), VT, V);
+    auto Q = ref::identity<T>(M);
+    for (int j = 0; j < M; ++j)
+        for (int i = 0; i < M; ++i)
+            Q(i, j) -= VTVh(i, j);
+    EXPECT_LE(ref::orthogonality(Q), test::tol<T>(500) * M);
+
+    // Stacked original = Q [Rnew; 0].
+    ref::Dense<T> S(M, n);
+    for (int j = 0; j < n; ++j) {
+        for (int i = 0; i <= j; ++i)
+            S(i, j) = A1(i, j);
+    }
+    auto QS = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Q, S);
+    ref::Dense<T> Orig(M, n);
+    for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i)
+            Orig(i, j) = A1_0(i, j);
+        for (int i = 0; i < m2; ++i)
+            Orig(n + i, j) = A2_0(i, j);
+    }
+    EXPECT_LE(ref::diff_fro(QS, Orig),
+              test::tol<T>(1000) * (1 + ref::norm_fro(Orig)));
+}
+
+TYPED_TEST(Householder, TsmqrRoundTrip) {
+    using T = TypeParam;
+    int const n = 5, m2 = 7, nn = 4;
+    auto A1 = ref::random_dense<T>(n, n, 9);
+    for (int j = 0; j < n; ++j)
+        for (int i = j + 1; i < n; ++i)
+            A1(i, j) = T(0);
+    auto A2 = ref::random_dense<T>(m2, n, 10);
+    ref::Dense<T> Tf(n, n);
+    blas::tsqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+
+    auto C1 = ref::random_dense<T>(n, nn, 11);
+    auto C2 = ref::random_dense<T>(m2, nn, 12);
+    auto C1_0 = C1;
+    auto C2_0 = C2;
+
+    blas::tsmqr(Op::ConjTrans, as_tile(A2), as_tile(Tf), as_tile(C1), as_tile(C2));
+    blas::tsmqr(Op::NoTrans, as_tile(A2), as_tile(Tf), as_tile(C1), as_tile(C2));
+    EXPECT_LE(ref::diff_fro(C1, C1_0), test::tol<T>(500) * (1 + ref::norm_fro(C1_0)));
+    EXPECT_LE(ref::diff_fro(C2, C2_0), test::tol<T>(500) * (1 + ref::norm_fro(C2_0)));
+}
+
+TYPED_TEST(Householder, TsqrtZeroBottomIsIdentityQ) {
+    // With A2 == 0, the factorization must leave R1 unchanged (tau == 0).
+    using T = TypeParam;
+    int const n = 4, m2 = 3;
+    auto A1 = ref::random_dense<T>(n, n, 13);
+    for (int j = 0; j < n; ++j) {
+        for (int i = j + 1; i < n; ++i)
+            A1(i, j) = T(0);
+        A1(j, j) = from_real<T>(real_t<T>(2) + real_t<T>(j));
+    }
+    auto A1_0 = A1;
+    ref::Dense<T> A2(m2, n), Tf(n, n);
+    blas::tsqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+    EXPECT_LE(ref::diff_fro(A1, A1_0), test::tol<T>(10) * ref::norm_fro(A1_0));
+}

@@ -1,0 +1,124 @@
+// Condition estimators: norm1est (Hager) on explicit operators, trcondest on
+// QR factors of generated matrices with known condition numbers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cond/condest.hh"
+#include "gen/matgen.hh"
+#include "linalg/geqrf.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class Condest : public ::testing::Test {};
+TYPED_TEST_SUITE(Condest, test::AllTypes);
+
+TYPED_TEST(Condest, Norm1estDiagonal) {
+    using T = TypeParam;
+    // B = diag(1..n): ||B||_1 = n; estimate via explicit matvec.
+    std::int64_t const n = 10;
+    auto apply = [n](std::vector<T>& v) {
+        for (std::int64_t i = 0; i < n; ++i)
+            v[static_cast<size_t>(i)] *= from_real<T>(static_cast<real_t<T>>(i + 1));
+    };
+    auto est = cond::norm1est<T>(n, apply, apply);
+    EXPECT_NEAR(est, real_t<T>(n), real_t<T>(n) * 0.01);
+}
+
+TYPED_TEST(Condest, Norm1estDenseOperator) {
+    using T = TypeParam;
+    std::int64_t const n = 12;
+    auto B = ref::random_dense<T>(n, n, 51);
+    auto apply = [&](std::vector<T>& v) {
+        std::vector<T> out(static_cast<size_t>(n), T(0));
+        for (std::int64_t j = 0; j < n; ++j)
+            for (std::int64_t i = 0; i < n; ++i)
+                out[static_cast<size_t>(i)] += B(i, j) * v[static_cast<size_t>(j)];
+        v = out;
+    };
+    auto apply_h = [&](std::vector<T>& v) {
+        std::vector<T> out(static_cast<size_t>(n), T(0));
+        for (std::int64_t j = 0; j < n; ++j)
+            for (std::int64_t i = 0; i < n; ++i)
+                out[static_cast<size_t>(j)] +=
+                    conj_val(B(i, j)) * v[static_cast<size_t>(i)];
+        v = out;
+    };
+    auto est = cond::norm1est<T>(n, apply, apply_h);
+    auto exact = ref::norm_one(B);
+    // Hager's estimate is a lower bound, usually within a small factor.
+    EXPECT_LE(est, exact * (1 + test::tol<T>(100)));
+    EXPECT_GE(est, exact * real_t<T>(0.3));
+}
+
+TYPED_TEST(Condest, Norm1estSizeOne) {
+    using T = TypeParam;
+    auto apply = [](std::vector<T>& v) { v[0] *= T(-4); };
+    EXPECT_NEAR(cond::norm1est<T>(1, apply, apply), real_t<T>(4), test::tol<T>());
+}
+
+TYPED_TEST(Condest, TrcondestRecoversCondition) {
+    using T = TypeParam;
+    using R = real_t<T>;
+    rt::Engine eng(3);
+    for (double kappa : {1e1, 1e4}) {
+        gen::MatGenOptions opt;
+        opt.cond = kappa;
+        opt.seed = 52;
+        int const n = 24;
+        auto A = gen::cond_matrix<T>(eng, n, n, 5, opt);
+        auto Tm = la::alloc_qr_t(A);
+        la::geqrf(eng, A, Tm);
+        eng.wait();
+        R const rcond = cond::trcondest(eng, A);
+        // rcond approximates 1/cond_1(R); cond_1 within a factor ~n of
+        // cond_2 = kappa. Accept two orders of magnitude slack.
+        ASSERT_GT(rcond, R(0));
+        double const est_cond = 1.0 / static_cast<double>(rcond);
+        EXPECT_GT(est_cond, kappa / 100.0) << "kappa " << kappa;
+        EXPECT_LT(est_cond, kappa * 100.0) << "kappa " << kappa;
+    }
+}
+
+TYPED_TEST(Condest, TrcondestIdentity) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(9, 9, 4);
+    for (int i = 0; i < 9; ++i)
+        A.at(i, i) = T(1);
+    auto rcond = cond::trcondest(eng, A);
+    EXPECT_NEAR(rcond, real_t<T>(1), real_t<T>(0.01));
+}
+
+TYPED_TEST(Condest, TrcondestSingularReturnsZero) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(6, 6, 3);
+    for (int i = 0; i < 5; ++i)
+        A.at(i, i) = T(1);
+    // A(5,5) stays zero -> exactly singular R.
+    EXPECT_EQ(cond::trcondest(eng, A), real_t<T>(0));
+}
+
+TYPED_TEST(Condest, TrcondestRectangularFactor) {
+    // trcondest must only look at the top n x n R of a tall factored panel,
+    // including when m is not a tile multiple.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 1e3;
+    opt.seed = 53;
+    auto A = gen::cond_matrix<T>(eng, 22, 9, 4, opt);
+    auto Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+    eng.wait();
+    auto rcond = cond::trcondest(eng, A);
+    ASSERT_GT(rcond, real_t<T>(0));
+    double const est_cond = 1.0 / static_cast<double>(rcond);
+    EXPECT_GT(est_cond, 10.0);
+    EXPECT_LT(est_cond, 1e6);
+}

@@ -1,0 +1,172 @@
+// Edge cases and failure injection across the public API: degenerate sizes,
+// tiles larger than the matrix, misuse detection, engine reuse after
+// numerical failures.
+
+#include <gtest/gtest.h>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/potrf.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class EdgeCases : public ::testing::Test {};
+TYPED_TEST_SUITE(EdgeCases, test::AllTypes);
+
+TYPED_TEST(EdgeCases, OneByOneQdwh) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(1, 1, 8);
+    A.at(0, 0) = from_real<T>(real_t<T>(-2.5));
+    TiledMatrix<T> H(1, 1, 8);
+    qdwh(eng, A, H);
+    // Polar of a negative scalar: U = -1 (real) or unit phase, H = |a|.
+    EXPECT_NEAR(std::abs(A.at(0, 0)), real_t<T>(1), test::tol<T>(10));
+    EXPECT_NEAR(real_part(H.at(0, 0)), real_t<T>(2.5), test::tol<T>(100));
+}
+
+TYPED_TEST(EdgeCases, ComplexScalarPolarIsPhase) {
+    using T = TypeParam;
+    if constexpr (is_complex_v<T>) {
+        rt::Engine eng(2);
+        TiledMatrix<T> A(1, 1, 4);
+        A.at(0, 0) = T(3, 4);  // |a| = 5, phase (3+4i)/5
+        TiledMatrix<T> H(1, 1, 4);
+        qdwh(eng, A, H);
+        EXPECT_NEAR(std::abs(A.at(0, 0) - T(0.6, 0.8)), real_t<T>(0),
+                    test::tol<T>(100));
+        EXPECT_NEAR(real_part(H.at(0, 0)), real_t<T>(5), test::tol<T>(500));
+    }
+}
+
+TYPED_TEST(EdgeCases, SingleColumnMatrix) {
+    // m x 1: U_p = a/||a||, H = ||a||.
+    using T = TypeParam;
+    rt::Engine eng(2);
+    int const m = 17;
+    TiledMatrix<T> A(m, 1, 4);
+    real_t<T> nrm(0);
+    CounterRng rng(7);
+    for (int i = 0; i < m; ++i) {
+        A.at(i, 0) = rng.gaussian<T>(static_cast<std::uint64_t>(i));
+        nrm += abs_sq(A.at(i, 0));
+    }
+    nrm = std::sqrt(nrm);
+    auto A0 = ref::to_dense(A);
+    TiledMatrix<T> H(1, 1, 4);
+    qdwh(eng, A, H);
+    EXPECT_NEAR(real_part(H.at(0, 0)), nrm, test::tol<T>(500) * nrm);
+    for (int i = 0; i < m; ++i)
+        EXPECT_NEAR(std::abs(A.at(i, 0) - A0(i, 0) / from_real<T>(nrm)),
+                    real_t<T>(0), test::tol<T>(500));
+}
+
+TYPED_TEST(EdgeCases, TileLargerThanMatrix) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.cond = 10;
+    opt.seed = 301;
+    auto A = gen::cond_matrix<T>(eng, 7, 5, 64, opt);  // one tile holds all
+    auto Ad = ref::to_dense(A);
+    TiledMatrix<T> H(5, 5, 64);
+    qdwh(eng, A, H);
+    auto U = ref::to_dense(A);
+    EXPECT_LE(ref::orthogonality(U), test::tol<T>(500));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, ref::to_dense(H));
+    EXPECT_LE(ref::diff_fro(UH, Ad), test::tol<T>(500) * (1 + ref::norm_fro(Ad)));
+}
+
+TYPED_TEST(EdgeCases, WideMatrixRejected) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(4, 9, 4);  // m < n violates the contract
+    TiledMatrix<T> H(9, 9, 4);
+    EXPECT_THROW(qdwh(eng, A, H), Error);
+}
+
+TYPED_TEST(EdgeCases, WrongHShapeRejected) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.seed = 302;
+    opt.cond = 10;
+    auto A = gen::cond_matrix<T>(eng, 8, 8, 4, opt);
+    TiledMatrix<T> H(6, 6, 4);  // wrong size
+    EXPECT_THROW(qdwh(eng, A, H), Error);
+}
+
+TYPED_TEST(EdgeCases, EngineReusableAfterNumericalFailure) {
+    // A potrf failure inside tasks must not poison the engine for later work.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    TiledMatrix<T> Bad(6, 6, 3);
+    la::set(eng, T(0), T(-1), Bad);
+    EXPECT_THROW(
+        {
+            la::potrf(eng, Uplo::Lower, Bad);
+            eng.wait();
+        },
+        Error);
+
+    gen::MatGenOptions opt;
+    opt.cond = 10;
+    opt.seed = 303;
+    auto A = gen::cond_matrix<T>(eng, 10, 10, 4, opt);
+    TiledMatrix<T> H(10, 10, 4);
+    EXPECT_NO_THROW(qdwh(eng, A, H));
+}
+
+TYPED_TEST(EdgeCases, GeqrfSingleColumn) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    int const m = 11;
+    TiledMatrix<T> A(m, 1, 3);
+    for (int i = 0; i < m; ++i)
+        A.at(i, 0) = from_real<T>(real_t<T>(i + 1));
+    real_t<T> nrm(0);
+    for (int i = 0; i < m; ++i)
+        nrm += real_t<T>((i + 1) * (i + 1));
+    nrm = std::sqrt(nrm);
+    auto Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+    eng.wait();
+    EXPECT_NEAR(std::abs(A.at(0, 0)), nrm, test::tol<T>(100) * nrm);
+}
+
+TYPED_TEST(EdgeCases, IdentityInputConvergesImmediately) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    int const n = 12;
+    TiledMatrix<T> A(n, n, 4);
+    la::set_identity(eng, A);
+    TiledMatrix<T> H(n, n, 4);
+    auto info = qdwh(eng, A, H);
+    EXPECT_LE(info.iterations, 3);
+    EXPECT_EQ(info.it_qr, 0);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(std::abs(A.at(i, i)), real_t<T>(1), test::tol<T>(50));
+        EXPECT_NEAR(real_part(H.at(i, i)), real_t<T>(1), test::tol<T>(50));
+    }
+}
+
+TYPED_TEST(EdgeCases, NearSingularStillConverges) {
+    // kappa at the edge of the precision's representable conditioning.
+    using T = TypeParam;
+    using R = real_t<T>;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = std::is_same_v<R, float> ? 3e7 : 3e16;
+    opt.seed = 304;
+    int const n = 20, nb = 8;
+    auto A = gen::cond_matrix<T>(eng, n, n, nb, opt);
+    TiledMatrix<T> H(n, n, nb);
+    auto info = qdwh(eng, A, H);
+    auto U = ref::to_dense(A);
+    EXPECT_LE(ref::orthogonality(U) / std::sqrt(R(n)), test::tol<T>(200));
+    EXPECT_LE(info.iterations, 8);
+}

@@ -1,0 +1,59 @@
+// Parameterized property sweep: gemmA must equal gemm for every shape, op
+// and scaling (they are alternative schedules of the same contraction).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "linalg/gemm.hh"
+#include "linalg/util.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+namespace {
+
+// (m, k, ncols, nb, conj_trans, beta_zero)
+using Cfg = std::tuple<int, int, int, int, bool, bool>;
+
+class GemmASweep : public ::testing::TestWithParam<Cfg> {};
+
+}  // namespace
+
+TEST_P(GemmASweep, MatchesGemm) {
+    auto const [m, k, nc, nb, ct, beta_zero] = GetParam();
+    Op const op = ct ? Op::ConjTrans : Op::NoTrans;
+    rt::Engine eng(3);
+
+    auto Da = ref::random_dense<double>(m, k, 401);
+    int const rows_b = ct ? m : k;
+    int const rows_c = ct ? k : m;
+    auto Db = ref::random_dense<double>(rows_b, nc, 402);
+    auto Dc = ref::random_dense<double>(rows_c, nc, 403);
+
+    auto A = ref::to_tiled(Da, nb);
+    auto B = ref::to_tiled(Db, nb);
+    auto C1 = ref::to_tiled(Dc, nb);
+    auto C2 = ref::to_tiled(Dc, nb);
+
+    double const beta = beta_zero ? 0.0 : -1.5;
+    la::gemm(eng, op, Op::NoTrans, 2.0, A, B, beta, C1);
+    la::gemmA(eng, op, 2.0, A, B, beta, C2);
+    eng.wait();
+
+    auto R1 = ref::to_dense(C1);
+    auto R2 = ref::to_dense(C2);
+    // Same contraction, possibly different summation order: equal to
+    // rounding.
+    EXPECT_LE(ref::diff_fro(R1, R2), 1e-12 * (1 + ref::norm_fro(R1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GemmASweep,
+    ::testing::Combine(::testing::Values(9, 16, 25),   // m
+                       ::testing::Values(6, 13),       // k
+                       ::testing::Values(1, 3),        // result columns
+                       ::testing::Values(4, 8),        // nb
+                       ::testing::Bool(),              // ConjTrans
+                       ::testing::Bool()));            // beta == 0

@@ -1,0 +1,61 @@
+// Parameterized sweep over tile-QR shapes: for every (m, n, nb) point the
+// factorization must satisfy the two defining properties (Q^H Q = I and
+// Q R = A) in double precision.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gen/matgen.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/util.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+namespace {
+
+using Shape = std::tuple<int, int, int>;  // m, n, nb
+
+class GeqrfSweep : public ::testing::TestWithParam<Shape> {};
+
+}  // namespace
+
+TEST_P(GeqrfSweep, FactorizationProperties) {
+    auto const [m, n, nb] = GetParam();
+    if (m < n)
+        GTEST_SKIP() << "library contract is m >= n (as in the paper)";
+    rt::Engine eng(3);
+    auto D = ref::random_dense<double>(m, n, 777);
+    auto A = ref::to_tiled(D, nb);
+    auto Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+    TiledMatrix<double> Q(m, n, nb);
+    la::ungqr(eng, A, Tm, Q);
+    eng.wait();
+
+    auto Qd = ref::to_dense(Q);
+    EXPECT_LE(ref::orthogonality(Qd), 1e-12 * std::max(m, n))
+        << m << "x" << n << " nb=" << nb;
+
+    ref::Dense<double> R(n, n);
+    auto Ad = ref::to_dense(A);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j && i < m; ++i)
+            R(i, j) = Ad(i, j);
+    auto QR = ref::gemm(Op::NoTrans, Op::NoTrans, 1.0, Qd, R);
+    EXPECT_LE(ref::diff_fro(QR, D), 1e-12 * (1 + ref::norm_fro(D)))
+        << m << "x" << n << " nb=" << nb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GeqrfSweep,
+    ::testing::Combine(::testing::Values(8, 13, 24, 31, 40),
+                       ::testing::Values(5, 8, 13),
+                       ::testing::Values(3, 4, 8, 16)),
+    [](::testing::TestParamInfo<Shape> const& info) {
+        return "m" + std::to_string(std::get<0>(info.param)) + "_n"
+               + std::to_string(std::get<1>(info.param)) + "_nb"
+               + std::to_string(std::get<2>(info.param));
+    });

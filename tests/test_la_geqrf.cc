@@ -1,0 +1,160 @@
+// Tiled flat-tree QR: R correctness, explicit Q orthogonality, A = Q R
+// reconstruction, rectangular and stacked (QDWH [sqrt(c) A; I]) shapes,
+// unmqr application, mode equivalence.
+
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/util.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class LaGeqrf : public ::testing::Test {};
+TYPED_TEST_SUITE(LaGeqrf, test::AllTypes);
+
+namespace {
+
+template <typename T>
+void check_qr(int m, int n, int nb, rt::Mode mode = rt::Mode::TaskDataflow) {
+    rt::Engine eng(3, mode);
+    auto D = ref::random_dense<T>(m, n, 41);
+    auto A = ref::to_tiled(D, nb);
+    auto Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+    TiledMatrix<T> Q(m, n, nb);
+    la::ungqr(eng, A, Tm, Q);
+    eng.wait();
+
+    auto Qd = ref::to_dense(Q);
+    // Q has orthonormal columns.
+    EXPECT_LE(ref::orthogonality(Qd), test::tol<T>(200) * std::max(m, n))
+        << "m=" << m << " n=" << n << " nb=" << nb;
+
+    // Q R == original A (R = upper triangle/trapezoid of factored A).
+    ref::Dense<T> R(n, n);
+    auto Ad = ref::to_dense(A);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j && i < m; ++i)
+            R(i, j) = Ad(i, j);
+    auto QR = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Qd, R);
+    EXPECT_LE(ref::diff_fro(QR, D), test::tol<T>(1000) * (1 + ref::norm_fro(D)))
+        << "m=" << m << " n=" << n << " nb=" << nb;
+}
+
+}  // namespace
+
+TYPED_TEST(LaGeqrf, TallMultiTile) { check_qr<TypeParam>(18, 8, 4); }
+TYPED_TEST(LaGeqrf, Square) { check_qr<TypeParam>(12, 12, 4); }
+TYPED_TEST(LaGeqrf, SquareUneven) { check_qr<TypeParam>(13, 13, 4); }
+TYPED_TEST(LaGeqrf, TallUneven) { check_qr<TypeParam>(19, 7, 5); }
+TYPED_TEST(LaGeqrf, SingleTile) { check_qr<TypeParam>(9, 6, 16); }
+TYPED_TEST(LaGeqrf, VeryTall) { check_qr<TypeParam>(31, 5, 4); }
+TYPED_TEST(LaGeqrf, ForkJoin) { check_qr<TypeParam>(14, 8, 4, rt::Mode::ForkJoin); }
+TYPED_TEST(LaGeqrf, Sequential) { check_qr<TypeParam>(14, 8, 4, rt::Mode::Sequential); }
+
+TYPED_TEST(LaGeqrf, StackedQdwhShape) {
+    // The QDWH QR iterate: W = [sqrt(c) A; I], (m+n) x n with A's row tiles
+    // on top and the identity's square tiles below.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const m = 10, n = 6, nb = 4;
+    auto D = ref::random_dense<T>(m, n, 42);
+
+    auto rows = TiledMatrix<T>::chop(m, nb);
+    auto cols = TiledMatrix<T>::chop(n, nb);
+    auto wrows = rows;
+    wrows.insert(wrows.end(), cols.begin(), cols.end());
+    TiledMatrix<T> W(wrows, cols);
+    auto W1 = W.sub(0, 0, static_cast<int>(rows.size()), W.nt());
+    auto W2 = W.sub(static_cast<int>(rows.size()), 0,
+                    static_cast<int>(cols.size()), W.nt());
+    test::dense_to_tiled(D, W1);
+    la::set_identity(eng, W2);
+    eng.wait();
+    auto Worig = ref::to_dense(W);
+
+    auto Tm = la::alloc_qr_t(W);
+    la::geqrf(eng, W, Tm);
+    TiledMatrix<T> Q(wrows, cols);
+    la::ungqr(eng, W, Tm, Q);
+    eng.wait();
+
+    auto Qd = ref::to_dense(Q);
+    EXPECT_LE(ref::orthogonality(Qd), test::tol<T>(500) * (m + n));
+    ref::Dense<T> R(n, n);
+    auto Wd = ref::to_dense(W);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j; ++i)
+            R(i, j) = Wd(i, j);
+    auto QR = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Qd, R);
+    EXPECT_LE(ref::diff_fro(QR, Worig),
+              test::tol<T>(1000) * (1 + ref::norm_fro(Worig)));
+}
+
+TYPED_TEST(LaGeqrf, UnmqrAppliesQh) {
+    // unmqr(ConjTrans) on the original A must reproduce [R; 0].
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const m = 14, n = 6, nb = 4;
+    auto D = ref::random_dense<T>(m, n, 43);
+    auto A = ref::to_tiled(D, nb);
+    auto Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+
+    auto C = ref::to_tiled(D, nb);
+    la::unmqr(eng, Op::ConjTrans, A, Tm, C);
+    eng.wait();
+
+    auto Cd = ref::to_dense(C);
+    auto Ad = ref::to_dense(A);
+    // Top triangle equals R, bottom must vanish.
+    real_t<T> err(0);
+    for (int j = 0; j < n; ++j) {
+        for (int i = 0; i <= j; ++i)
+            err += abs_sq(Cd(i, j) - Ad(i, j));
+        for (int i = j + 1; i < m; ++i)
+            err += abs_sq(Cd(i, j));
+    }
+    EXPECT_LE(std::sqrt(err), test::tol<T>(1000) * (1 + ref::norm_fro(D)));
+}
+
+TYPED_TEST(LaGeqrf, UnmqrRoundTrip) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const m = 12, n = 5, nb = 4;
+    auto D = ref::random_dense<T>(m, n, 44);
+    auto A = ref::to_tiled(D, nb);
+    auto Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+
+    auto Dc = ref::random_dense<T>(m, 3, 45);
+    auto C = ref::to_tiled(Dc, nb);
+    la::unmqr(eng, Op::ConjTrans, A, Tm, C);
+    la::unmqr(eng, Op::NoTrans, A, Tm, C);
+    eng.wait();
+    EXPECT_LE(ref::diff_fro(ref::to_dense(C), Dc),
+              test::tol<T>(1000) * (1 + ref::norm_fro(Dc)));
+}
+
+TYPED_TEST(LaGeqrf, ModesProduceSameFactor) {
+    using T = TypeParam;
+    auto D = ref::random_dense<T>(12, 6, 46);
+    std::vector<ref::Dense<T>> results;
+    for (auto mode : {rt::Mode::Sequential, rt::Mode::TaskDataflow,
+                      rt::Mode::ForkJoin}) {
+        rt::Engine eng(3, mode);
+        auto A = ref::to_tiled(D, 4);
+        auto Tm = la::alloc_qr_t(A);
+        la::geqrf(eng, A, Tm);
+        eng.wait();
+        results.push_back(ref::to_dense(A));
+    }
+    // Identical task set and deterministic kernels: results must agree
+    // bit-for-bit across schedules.
+    EXPECT_EQ(ref::diff_fro(results[0], results[1]), real_t<T>(0));
+    EXPECT_EQ(ref::diff_fro(results[0], results[2]), real_t<T>(0));
+}

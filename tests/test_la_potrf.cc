@@ -1,0 +1,95 @@
+// Tiled Cholesky and posv.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "gen/matgen.hh"
+#include "linalg/gemm.hh"
+#include "linalg/potrf.hh"
+#include "linalg/util.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class LaPotrf : public ::testing::Test {};
+TYPED_TEST_SUITE(LaPotrf, test::AllTypes);
+
+namespace {
+
+template <typename T>
+ref::Dense<T> make_hpd_dense(int n, std::uint64_t seed) {
+    auto B = ref::random_dense<T>(n, n, seed);
+    auto A = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), B, B);
+    for (int i = 0; i < n; ++i)
+        A(i, i) += from_real<T>(static_cast<real_t<T>>(n));
+    return A;
+}
+
+template <typename T>
+void check_potrf(int n, int nb, rt::Mode mode = rt::Mode::TaskDataflow) {
+    rt::Engine eng(3, mode);
+    auto D = make_hpd_dense<T>(n, 31);
+    auto A = ref::to_tiled(D, nb);
+    la::potrf(eng, Uplo::Lower, A);
+    eng.wait();
+
+    // Extract L and verify L L^H == D.
+    auto Ld = ref::to_dense(A);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < j; ++i)
+            Ld(i, j) = T(0);
+    auto P = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), Ld, Ld);
+    EXPECT_LE(ref::diff_fro(P, D), test::tol<T>(1000) * (1 + ref::norm_fro(D)));
+}
+
+}  // namespace
+
+TYPED_TEST(LaPotrf, MultiTile) { check_potrf<TypeParam>(13, 4); }
+TYPED_TEST(LaPotrf, SingleTile) { check_potrf<TypeParam>(6, 8); }
+TYPED_TEST(LaPotrf, ExactTiles) { check_potrf<TypeParam>(12, 4); }
+TYPED_TEST(LaPotrf, ForkJoin) { check_potrf<TypeParam>(12, 4, rt::Mode::ForkJoin); }
+TYPED_TEST(LaPotrf, Sequential) { check_potrf<TypeParam>(10, 3, rt::Mode::Sequential); }
+
+TYPED_TEST(LaPotrf, PosvSolves) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const n = 11, nrhs = 4, nb = 4;
+    auto Dz = make_hpd_dense<T>(n, 32);
+    auto Db = ref::random_dense<T>(n, nrhs, 33);
+    auto Z = ref::to_tiled(Dz, nb);
+    auto X = ref::to_tiled(Db, nb);
+    la::posv(eng, Z, X);
+    eng.wait();
+    auto P = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Dz, ref::to_dense(X));
+    EXPECT_LE(ref::diff_fro(P, Db), test::tol<T>(5000) * (1 + ref::norm_fro(Db)));
+}
+
+TYPED_TEST(LaPotrf, IndefiniteThrowsThroughEngine) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(6, 6, 3);
+    la::set(eng, T(0), T(-1), A);  // negative definite
+    EXPECT_THROW(
+        {
+            la::potrf(eng, Uplo::Lower, A);
+            eng.wait();
+        },
+        Error);
+}
+
+TYPED_TEST(LaPotrf, HpdGeneratorFactorizable) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    auto A = gen::hpd_matrix<T>(eng, 14, 5, 77);
+    auto D = ref::to_dense(A);
+    la::potrf(eng, Uplo::Lower, A);
+    eng.wait();
+    auto Ld = ref::to_dense(A);
+    for (int j = 0; j < 14; ++j)
+        for (int i = 0; i < j; ++i)
+            Ld(i, j) = T(0);
+    auto P = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), Ld, Ld);
+    EXPECT_LE(ref::diff_fro(P, D), test::tol<T>(2000) * (1 + ref::norm_fro(D)));
+}

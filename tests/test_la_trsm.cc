@@ -1,0 +1,130 @@
+// Tiled triangular solves: all side/uplo/op combinations QDWH and the
+// condition estimators use, verified by residual against the dense triangle.
+
+#include <gtest/gtest.h>
+
+#include "linalg/trsm.hh"
+#include "linalg/util.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class LaTrsm : public ::testing::Test {};
+TYPED_TEST_SUITE(LaTrsm, test::AllTypes);
+
+namespace {
+
+template <typename T>
+void check_tiled_trsm(Side side, Uplo uplo, Op op, int m, int n, int nb) {
+    rt::Engine eng(3);
+    int const na = (side == Side::Left) ? m : n;
+    auto Dtri = ref::random_dense<T>(na, na, 21);
+    for (int i = 0; i < na; ++i)
+        Dtri(i, i) += from_real<T>(real_t<T>(2 * na));
+    auto Db = ref::random_dense<T>(m, n, 22);
+
+    auto A = ref::to_tiled(Dtri, nb);
+    auto X = ref::to_tiled(Db, nb);
+    la::trsm(eng, side, uplo, op, Diag::NonUnit, T(1), A, X);
+    eng.wait();
+
+    ref::Dense<T> Atri(na, na);
+    for (int j = 0; j < na; ++j)
+        for (int i = 0; i < na; ++i)
+            Atri(i, j) = ((uplo == Uplo::Lower) ? i >= j : i <= j) ? Dtri(i, j)
+                                                                   : T(0);
+    auto Xd = ref::to_dense(X);
+    auto P = (side == Side::Left) ? ref::gemm(op, Op::NoTrans, T(1), Atri, Xd)
+                                  : ref::gemm(Op::NoTrans, op, T(1), Xd, Atri);
+    EXPECT_LE(ref::diff_fro(P, Db), test::tol<T>(1000) * (1 + ref::norm_fro(Db)))
+        << to_string(op) << " side=" << (side == Side::Left ? "L" : "R")
+        << " uplo=" << to_string(uplo);
+}
+
+}  // namespace
+
+TYPED_TEST(LaTrsm, RightLowerConjTrans) {
+    check_tiled_trsm<TypeParam>(Side::Right, Uplo::Lower, Op::ConjTrans, 11, 8, 3);
+}
+TYPED_TEST(LaTrsm, RightLowerNoTrans) {
+    check_tiled_trsm<TypeParam>(Side::Right, Uplo::Lower, Op::NoTrans, 11, 8, 3);
+}
+TYPED_TEST(LaTrsm, LeftLowerNoTrans) {
+    check_tiled_trsm<TypeParam>(Side::Left, Uplo::Lower, Op::NoTrans, 9, 6, 4);
+}
+TYPED_TEST(LaTrsm, LeftLowerConjTrans) {
+    check_tiled_trsm<TypeParam>(Side::Left, Uplo::Lower, Op::ConjTrans, 9, 6, 4);
+}
+TYPED_TEST(LaTrsm, LeftUpperNoTrans) {
+    check_tiled_trsm<TypeParam>(Side::Left, Uplo::Upper, Op::NoTrans, 10, 3, 4);
+}
+TYPED_TEST(LaTrsm, LeftUpperConjTrans) {
+    check_tiled_trsm<TypeParam>(Side::Left, Uplo::Upper, Op::ConjTrans, 10, 3, 4);
+}
+TYPED_TEST(LaTrsm, RightUpperNoTrans) {
+    check_tiled_trsm<TypeParam>(Side::Right, Uplo::Upper, Op::NoTrans, 7, 9, 4);
+}
+TYPED_TEST(LaTrsm, RightUpperConjTrans) {
+    check_tiled_trsm<TypeParam>(Side::Right, Uplo::Upper, Op::ConjTrans, 7, 9, 4);
+}
+
+TYPED_TEST(LaTrsm, SingleTileRhsVector) {
+    // Vector solve used by trcondest (n x 1 right-hand side).
+    check_tiled_trsm<TypeParam>(Side::Left, Uplo::Upper, Op::NoTrans, 12, 1, 5);
+}
+
+TYPED_TEST(LaTrsm, AlphaScaling) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    int const n = 6;
+    auto Dtri = ref::random_dense<T>(n, n, 23);
+    for (int i = 0; i < n; ++i)
+        Dtri(i, i) += from_real<T>(real_t<T>(8));
+    auto Db = ref::random_dense<T>(n, 4, 24);
+    auto A = ref::to_tiled(Dtri, 3);
+    auto X = ref::to_tiled(Db, 3);
+    la::trsm(eng, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, T(2), A, X);
+    eng.wait();
+
+    ref::Dense<T> Atri(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = j; i < n; ++i)
+            Atri(i, j) = Dtri(i, j);
+    auto P = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Atri, ref::to_dense(X));
+    ref::Dense<T> twoB(n, 4);
+    for (int j = 0; j < 4; ++j)
+        for (int i = 0; i < n; ++i)
+            twoB(i, j) = T(2) * Db(i, j);
+    EXPECT_LE(ref::diff_fro(P, twoB), test::tol<T>(1000) * (1 + ref::norm_fro(twoB)));
+}
+
+TYPED_TEST(LaTrsm, ChainedSolvesInvertSpd) {
+    // A Z^{-1} via two right solves with chol(Z) — QDWH's Cholesky step —
+    // sanity-checked by inverting: (A Z^{-1}) Z == A.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const n = 8, m = 10;
+    // SPD Z and its dense Cholesky (via tiled potrf is tested elsewhere;
+    // here we build L directly as a well-conditioned lower triangle).
+    auto L = ref::random_dense<T>(n, n, 25);
+    for (int j = 0; j < n; ++j) {
+        L(j, j) = from_real<T>(real_t<T>(4) + real_t<T>(j % 3));
+        for (int i = 0; i < j; ++i)
+            L(i, j) = T(0);
+    }
+    auto Da = ref::random_dense<T>(m, n, 26);
+    auto Ltile = ref::to_tiled(L, 3);
+    auto A = ref::to_tiled(Da, 3);
+    // A := A L^{-H} L^{-1} = A (L L^H)^{-1}
+    la::trsm(eng, Side::Right, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, T(1),
+             Ltile, A);
+    la::trsm(eng, Side::Right, Uplo::Lower, Op::NoTrans, Diag::NonUnit, T(1),
+             Ltile, A);
+    eng.wait();
+    // Rebuild: X (L L^H) should equal original A.
+    auto Z = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), L, L);
+    auto P = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), ref::to_dense(A), Z);
+    EXPECT_LE(ref::diff_fro(P, Da), test::tol<T>(2000) * (1 + ref::norm_fro(Da)));
+}

@@ -1,0 +1,135 @@
+// Tiled element-wise operations and norms, including equivalence across all
+// three execution modes.
+
+#include <gtest/gtest.h>
+
+#include "linalg/util.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class LaUtil : public ::testing::Test {};
+TYPED_TEST_SUITE(LaUtil, test::AllTypes);
+
+TYPED_TEST(LaUtil, CopyAndScale) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    auto D = ref::random_dense<T>(10, 7, 1);
+    auto A = ref::to_tiled(D, 4);
+    TiledMatrix<T> B(10, 7, 4);
+    la::copy(eng, A, B);
+    la::scale(eng, T(2), B);
+    eng.wait();
+    for (int j = 0; j < 7; ++j)
+        for (int i = 0; i < 10; ++i)
+            EXPECT_EQ(B.at(i, j), T(2) * D(i, j));
+}
+
+TYPED_TEST(LaUtil, Add) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    auto Da = ref::random_dense<T>(9, 9, 2);
+    auto Db = ref::random_dense<T>(9, 9, 3);
+    auto A = ref::to_tiled(Da, 4);
+    auto B = ref::to_tiled(Db, 4);
+    la::add(eng, T(2), A, T(-1), B);
+    eng.wait();
+    for (int j = 0; j < 9; ++j)
+        for (int i = 0; i < 9; ++i)
+            EXPECT_NEAR(std::abs(B.at(i, j) - (T(2) * Da(i, j) - Db(i, j))),
+                        real_t<T>(0), test::tol<T>());
+}
+
+TYPED_TEST(LaUtil, SetIdentity) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(11, 11, 4);
+    la::set_identity(eng, A);
+    eng.wait();
+    for (int j = 0; j < 11; ++j)
+        for (int i = 0; i < 11; ++i)
+            EXPECT_EQ(A.at(i, j), (i == j) ? T(1) : T(0));
+}
+
+TYPED_TEST(LaUtil, TransposeCopy) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    auto D = ref::random_dense<T>(8, 5, 4);
+    auto A = ref::to_tiled(D, 3);
+    TiledMatrix<T> B(5, 8, 3);
+    la::transpose_copy(eng, Op::ConjTrans, A, B);
+    eng.wait();
+    for (int j = 0; j < 5; ++j)
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(B.at(j, i), conj_val(D(i, j)));
+}
+
+TYPED_TEST(LaUtil, NormsMatchDense) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    auto D = ref::random_dense<T>(13, 9, 5);
+    auto A = ref::to_tiled(D, 4);
+
+    EXPECT_NEAR(la::norm(eng, Norm::One, A), ref::norm_one(D),
+                test::tol<T>(50) * (1 + ref::norm_one(D)));
+    EXPECT_NEAR(la::norm(eng, Norm::Fro, A), ref::norm_fro(D),
+                test::tol<T>(50) * (1 + ref::norm_fro(D)));
+    EXPECT_NEAR(la::norm(eng, Norm::Max, A), ref::norm_max(D), test::tol<T>(10));
+
+    // Inf norm vs manual row sums.
+    real_t<T> inf(0);
+    for (int i = 0; i < 13; ++i) {
+        real_t<T> s(0);
+        for (int j = 0; j < 9; ++j)
+            s += std::abs(D(i, j));
+        inf = std::max(inf, s);
+    }
+    EXPECT_NEAR(la::norm(eng, Norm::Inf, A), inf, test::tol<T>(50) * (1 + inf));
+}
+
+TYPED_TEST(LaUtil, ColAbsSums) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    auto D = ref::random_dense<T>(7, 6, 6);
+    auto A = ref::to_tiled(D, 3);
+    auto sums = la::col_abs_sums(eng, A);
+    ASSERT_EQ(sums.size(), 6u);
+    for (int j = 0; j < 6; ++j) {
+        real_t<T> s(0);
+        for (int i = 0; i < 7; ++i)
+            s += std::abs(D(i, j));
+        EXPECT_NEAR(sums[static_cast<size_t>(j)], s, test::tol<T>(50) * (1 + s));
+    }
+}
+
+TYPED_TEST(LaUtil, ModesAgree) {
+    using T = TypeParam;
+    auto D = ref::random_dense<T>(12, 12, 7);
+    std::vector<real_t<T>> fro;
+    for (auto mode : {rt::Mode::Sequential, rt::Mode::TaskDataflow,
+                      rt::Mode::ForkJoin}) {
+        rt::Engine eng(3, mode);
+        auto A = ref::to_tiled(D, 5);
+        la::scale(eng, T(3), A);
+        TiledMatrix<T> B(12, 12, 5);
+        la::copy(eng, A, B);
+        la::add(eng, T(1), A, T(1), B);
+        fro.push_back(la::norm(eng, Norm::Fro, B));
+    }
+    EXPECT_EQ(fro[0], fro[1]);
+    EXPECT_EQ(fro[0], fro[2]);
+}
+
+TYPED_TEST(LaUtil, SubViewOperations) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(8, 8, 4);
+    la::set(eng, T(1), T(1), A);
+    auto S = A.sub(0, 0, 1, 2);  // top 4x8 strip
+    la::scale(eng, T(5), S);
+    eng.wait();
+    EXPECT_EQ(A.at(0, 0), T(5));
+    EXPECT_EQ(A.at(4, 0), T(1));
+}

@@ -1,0 +1,102 @@
+// Matrix generator (Section 7.1): orthonormal factors, embedded singular
+// values, achieved condition number, reproducibility, distributions.
+
+#include <gtest/gtest.h>
+
+#include "gen/matgen.hh"
+#include "linalg/gemm.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class MatGen : public ::testing::Test {};
+TYPED_TEST_SUITE(MatGen, test::AllTypes);
+
+TYPED_TEST(MatGen, OrthonormalColumns) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    auto Q = gen::random_orthonormal<T>(eng, 20, 12, 5, 61);
+    EXPECT_LE(ref::orthogonality(ref::to_dense(Q)), test::tol<T>(500) * 20);
+}
+
+TYPED_TEST(MatGen, SigmaProfiles) {
+    using R = real_t<TypeParam>;
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;
+    for (auto dist : {gen::SigmaDist::Geometric, gen::SigmaDist::Arithmetic,
+                      gen::SigmaDist::ClusterAtOne, gen::SigmaDist::LogUniform}) {
+        opt.dist = dist;
+        auto s = gen::sigma_values<R>(10, opt);
+        EXPECT_NEAR(s.front(), R(1), R(1e-6));
+        EXPECT_NEAR(s.back(), R(1e-4), R(1e-6));
+        for (size_t i = 1; i < s.size(); ++i)
+            EXPECT_LE(s[i], s[i - 1] * (1 + 1e-6));
+    }
+}
+
+TYPED_TEST(MatGen, SingularValuesEmbedded) {
+    // A^H A should have eigenvalues sigma_i^2: check trace and det-ish
+    // invariants cheaply: ||A||_F^2 == sum sigma_i^2.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 100;
+    opt.seed = 62;
+    int const n = 16;
+    auto A = gen::cond_matrix<T>(eng, n, n, 5, opt);
+    auto s = gen::sigma_values<real_t<T>>(n, opt);
+    real_t<T> sum_sq(0);
+    for (auto v : s)
+        sum_sq += v * v;
+    auto fro = ref::norm_fro(ref::to_dense(A));
+    EXPECT_NEAR(fro * fro, sum_sq, test::tol<T>(5000) * (1 + sum_sq));
+}
+
+TYPED_TEST(MatGen, Reproducible) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.seed = 63;
+    opt.cond = 10;
+    auto A = gen::cond_matrix<T>(eng, 12, 8, 4, opt);
+    auto B = gen::cond_matrix<T>(eng, 12, 8, 4, opt);
+    EXPECT_EQ(ref::diff_fro(ref::to_dense(A), ref::to_dense(B)), real_t<T>(0));
+}
+
+TYPED_TEST(MatGen, TilingIndependent) {
+    // Same (m, n, seed) must give the same matrix for any tile size.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    TiledMatrix<T> A(14, 9, 3), B(14, 9, 6);
+    gen::fill_gaussian(eng, A, 64);
+    gen::fill_gaussian(eng, B, 64);
+    eng.wait();
+    EXPECT_EQ(ref::diff_fro(ref::to_dense(A), ref::to_dense(B)), real_t<T>(0));
+}
+
+TYPED_TEST(MatGen, ScaleColsWorks) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(6, 4, 3);
+    la::set(eng, T(1), T(1), A);
+    std::vector<real_t<T>> s{1, 2, 3, 4};
+    gen::scale_cols(eng, A, s);
+    for (int j = 0; j < 4; ++j)
+        EXPECT_EQ(A.at(0, j), from_real<T>(s[static_cast<size_t>(j)]));
+}
+
+TYPED_TEST(MatGen, RectangularCondMatrix) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 50;
+    opt.seed = 65;
+    auto A = gen::cond_matrix<T>(eng, 21, 10, 4, opt);
+    EXPECT_EQ(A.m(), 21);
+    EXPECT_EQ(A.n(), 10);
+    // Columns remain bounded by sigma_max = 1 in 2-norm: fro <= sqrt(n).
+    EXPECT_LE(ref::norm_fro(ref::to_dense(A)),
+              std::sqrt(real_t<T>(10)) * (1 + test::tol<T>(100)));
+}

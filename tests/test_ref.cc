@@ -1,0 +1,192 @@
+// Dense reference substrate: Jacobi EVD/SVD, LU, gecondest.
+
+#include <gtest/gtest.h>
+
+#include "gen/matgen.hh"
+#include "ref/jacobi.hh"
+#include "ref/lu.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class Ref : public ::testing::Test {};
+TYPED_TEST_SUITE(Ref, test::AllTypes);
+
+namespace {
+
+template <typename T>
+ref::Dense<T> make_hermitian(int n, std::uint64_t seed) {
+    auto B = ref::random_dense<T>(n, n, seed);
+    ref::Dense<T> A(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+            A(i, j) = (B(i, j) + conj_val(B(j, i))) * from_real<T>(real_t<T>(0.5));
+    return A;
+}
+
+}  // namespace
+
+TYPED_TEST(Ref, JacobiEigDecomposes) {
+    using T = TypeParam;
+    int const n = 14;
+    auto A = make_hermitian<T>(n, 91);
+    auto A0 = A;
+    std::vector<real_t<T>> w;
+    ref::Dense<T> V;
+    ref::jacobi_eig(A, w, V);
+
+    // V unitary; A0 V = V diag(w).
+    EXPECT_LE(ref::orthogonality(V), test::tol<T>(500) * n);
+    auto AV = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), A0, V);
+    ref::Dense<T> VD(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+            VD(i, j) = V(i, j) * from_real<T>(w[static_cast<size_t>(j)]);
+    EXPECT_LE(ref::diff_fro(AV, VD), test::tol<T>(2000) * (1 + ref::norm_fro(A0)));
+
+    // Ascending order.
+    for (size_t i = 1; i < w.size(); ++i)
+        EXPECT_GE(w[i], w[i - 1]);
+}
+
+TYPED_TEST(Ref, JacobiEigDiagonalInput) {
+    using T = TypeParam;
+    int const n = 6;
+    ref::Dense<T> A(n, n);
+    for (int i = 0; i < n; ++i)
+        A(i, i) = from_real<T>(static_cast<real_t<T>>(n - i));
+    std::vector<real_t<T>> w;
+    ref::Dense<T> V;
+    ref::jacobi_eig(A, w, V);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(w[static_cast<size_t>(i)], real_t<T>(i + 1), test::tol<T>(10));
+}
+
+TYPED_TEST(Ref, JacobiSvdDecomposes) {
+    using T = TypeParam;
+    int const m = 15, n = 9;
+    auto A = ref::random_dense<T>(m, n, 92);
+    ref::Dense<T> U, V;
+    std::vector<real_t<T>> s;
+    ref::jacobi_svd(A, U, s, V);
+
+    EXPECT_LE(ref::orthogonality(U), test::tol<T>(500) * m);
+    EXPECT_LE(ref::orthogonality(V), test::tol<T>(500) * n);
+    for (size_t i = 1; i < s.size(); ++i)
+        EXPECT_LE(s[i], s[i - 1] * (1 + test::tol<T>(10)));
+
+    // U diag(s) V^H == A.
+    auto Us = U;
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            Us(i, j) = U(i, j) * from_real<T>(s[static_cast<size_t>(j)]);
+    auto R = ref::gemm(Op::NoTrans, Op::ConjTrans, T(1), Us, V);
+    EXPECT_LE(ref::diff_fro(R, A), test::tol<T>(2000) * (1 + ref::norm_fro(A)));
+}
+
+TYPED_TEST(Ref, JacobiSvdKnownValues) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    gen::MatGenOptions opt;
+    opt.cond = 1000;
+    opt.seed = 93;
+    int const n = 12;
+    auto At = gen::cond_matrix<T>(eng, n, n, 4, opt);
+    ref::Dense<T> U, V;
+    std::vector<real_t<T>> s;
+    ref::jacobi_svd(ref::to_dense(At), U, s, V);
+    auto expected = gen::sigma_values<real_t<T>>(n, opt);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(s[static_cast<size_t>(i)], expected[static_cast<size_t>(i)],
+                    test::tol<T>(2000) * (1 + expected[static_cast<size_t>(i)]));
+}
+
+TYPED_TEST(Ref, GetrfSolves) {
+    using T = TypeParam;
+    int const n = 13;
+    auto A = ref::random_dense<T>(n, n, 94);
+    auto LU = A;
+    std::vector<std::int64_t> ipiv;
+    ref::getrf(LU, ipiv);
+
+    auto x = ref::random_dense<T>(n, 1, 95);
+    std::vector<T> b(static_cast<size_t>(n));
+    // b = A x
+    for (int i = 0; i < n; ++i) {
+        T acc(0);
+        for (int j = 0; j < n; ++j)
+            acc += A(i, j) * x(j, 0);
+        b[static_cast<size_t>(i)] = acc;
+    }
+    ref::getrs(Op::NoTrans, LU, ipiv, b);
+    real_t<T> err(0);
+    for (int i = 0; i < n; ++i)
+        err += abs_sq(b[static_cast<size_t>(i)] - x(i, 0));
+    EXPECT_LE(std::sqrt(err), test::tol<T>(5000) * (1 + ref::norm_fro(x)));
+}
+
+TYPED_TEST(Ref, GetrsConjTrans) {
+    using T = TypeParam;
+    int const n = 9;
+    auto A = ref::random_dense<T>(n, n, 96);
+    auto LU = A;
+    std::vector<std::int64_t> ipiv;
+    ref::getrf(LU, ipiv);
+
+    auto x = ref::random_dense<T>(n, 1, 97);
+    std::vector<T> b(static_cast<size_t>(n));
+    // b = A^H x
+    for (int i = 0; i < n; ++i) {
+        T acc(0);
+        for (int j = 0; j < n; ++j)
+            acc += conj_val(A(j, i)) * x(j, 0);
+        b[static_cast<size_t>(i)] = acc;
+    }
+    ref::getrs(Op::ConjTrans, LU, ipiv, b);
+    real_t<T> err(0);
+    for (int i = 0; i < n; ++i)
+        err += abs_sq(b[static_cast<size_t>(i)] - x(i, 0));
+    EXPECT_LE(std::sqrt(err), test::tol<T>(5000) * (1 + ref::norm_fro(x)));
+}
+
+TYPED_TEST(Ref, InverseRoundTrip) {
+    using T = TypeParam;
+    int const n = 10;
+    auto A = ref::random_dense<T>(n, n, 98);
+    for (int i = 0; i < n; ++i)
+        A(i, i) += from_real<T>(real_t<T>(4));
+    auto Inv = ref::inverse(A);
+    auto P = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), A, Inv);
+    EXPECT_LE(ref::diff_fro(P, ref::identity<T>(n)), test::tol<T>(5000) * n);
+}
+
+TYPED_TEST(Ref, SingularGetrfThrows) {
+    using T = TypeParam;
+    ref::Dense<T> A(4, 4);  // zero matrix
+    std::vector<std::int64_t> ipiv;
+    EXPECT_THROW(ref::getrf(A, ipiv), Error);
+}
+
+TYPED_TEST(Ref, GecondestTracksCondition) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    for (double kappa : {1e1, 1e5}) {
+        gen::MatGenOptions opt;
+        opt.cond = kappa;
+        opt.seed = 99;
+        int const n = 16;
+        auto At = gen::cond_matrix<T>(eng, n, n, 4, opt);
+        auto rcond = ref::gecondest(ref::to_dense(At));
+        ASSERT_GT(rcond, real_t<T>(0));
+        double const est = 1.0 / static_cast<double>(rcond);
+        EXPECT_GT(est, kappa / 100.0);
+        EXPECT_LT(est, kappa * 100.0);
+    }
+}
+
+TYPED_TEST(Ref, GecondestSingular) {
+    using T = TypeParam;
+    ref::Dense<T> A(5, 5);
+    EXPECT_EQ(ref::gecondest(A), real_t<T>(0));
+}

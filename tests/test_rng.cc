@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.hh"
+
+using namespace tbp;
+
+TEST(Rng, Deterministic) {
+    CounterRng a(123), b(123);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform(i), b.uniform(i));
+        EXPECT_EQ(a.normal(i), b.normal(i));
+    }
+}
+
+TEST(Rng, SeedsDiffer) {
+    CounterRng a(1), b(2);
+    int same = 0;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        if (a.uniform(i) == b.uniform(i))
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+    CounterRng rng(7);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        double const u = rng.uniform(i);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    CounterRng rng(99);
+    int const n = 20000;
+    double sum = 0, sum_sq = 0;
+    for (int i = 0; i < n; ++i) {
+        double const x = rng.normal(static_cast<std::uint64_t>(i));
+        sum += x;
+        sum_sq += x * x;
+    }
+    double const mean = sum / n;
+    double const var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, ComplexGaussianHasIndependentParts) {
+    CounterRng rng(5);
+    auto z1 = rng.gaussian<std::complex<double>>(10);
+    auto z2 = rng.gaussian<std::complex<double>>(11);
+    EXPECT_NE(z1, z2);
+    EXPECT_NE(z1.real(), z1.imag());
+}
+
+TEST(Rng, RealGaussianMatchesNormal) {
+    CounterRng rng(5);
+    EXPECT_EQ(rng.gaussian<double>(3), rng.normal(3));
+}

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hh"
+#include "matrix/tile.hh"
+
+using namespace tbp;
+
+TEST(Tile, BasicAccess) {
+    std::vector<double> buf(12);
+    Tile<double> t(buf.data(), 3, 4, 3);
+    EXPECT_EQ(t.mb(), 3);
+    EXPECT_EQ(t.nb(), 4);
+    t(2, 3) = 7.5;
+    EXPECT_EQ(buf[2 + 3 * 3], 7.5);
+}
+
+TEST(Tile, LeadingDimension) {
+    std::vector<double> buf(20, 0.0);
+    Tile<double> t(buf.data(), 3, 4, 5);  // ld 5 > mb 3
+    t(1, 2) = 2.0;
+    EXPECT_EQ(buf[1 + 2 * 5], 2.0);
+}
+
+TEST(Tile, SubView) {
+    std::vector<double> buf(16);
+    for (int i = 0; i < 16; ++i)
+        buf[static_cast<size_t>(i)] = i;
+    Tile<double> t(buf.data(), 4, 4, 4);
+    auto s = t.sub(1, 2, 2, 2);
+    EXPECT_EQ(s.mb(), 2);
+    EXPECT_EQ(s.nb(), 2);
+    EXPECT_EQ(s(0, 0), t(1, 2));
+    EXPECT_EQ(s(1, 1), t(2, 3));
+}
+
+TEST(Tile, AtBoundsChecked) {
+    std::vector<double> buf(4);
+    Tile<double> t(buf.data(), 2, 2, 2);
+    EXPECT_NO_THROW(t.at(1, 1));
+    EXPECT_THROW(t.at(2, 0), Error);
+    EXPECT_THROW(t.at(0, -1), Error);
+}
+
+TEST(Tile, EmptyDefault) {
+    Tile<double> t;
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Tile, BadDimsRejected) {
+    std::vector<double> buf(4);
+    EXPECT_THROW(Tile<double>(buf.data(), 4, 1, 2), Error);  // ld < mb
+}

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "matrix/tiled_matrix.hh"
+
+using namespace tbp;
+
+TEST(TiledMatrix, UniformTiling) {
+    TiledMatrix<double> A(10, 7, 4);
+    EXPECT_EQ(A.m(), 10);
+    EXPECT_EQ(A.n(), 7);
+    EXPECT_EQ(A.mt(), 3);
+    EXPECT_EQ(A.nt(), 2);
+    EXPECT_EQ(A.tile_mb(0), 4);
+    EXPECT_EQ(A.tile_mb(2), 2);
+    EXPECT_EQ(A.tile_nb(1), 3);
+}
+
+TEST(TiledMatrix, ExplicitTiling) {
+    TiledMatrix<double> A({3, 5, 2}, {4, 4});
+    EXPECT_EQ(A.m(), 10);
+    EXPECT_EQ(A.n(), 8);
+    EXPECT_EQ(A.tile_mb(1), 5);
+}
+
+TEST(TiledMatrix, ZeroInitialized) {
+    TiledMatrix<double> A(6, 6, 4);
+    for (int j = 0; j < 6; ++j)
+        for (int i = 0; i < 6; ++i)
+            EXPECT_EQ(A.at(i, j), 0.0);
+}
+
+TEST(TiledMatrix, ElementAccessRoundTrip) {
+    TiledMatrix<double> A(9, 11, 4);
+    double v = 0;
+    for (int j = 0; j < 11; ++j)
+        for (int i = 0; i < 9; ++i)
+            A.at(i, j) = v++;
+    v = 0;
+    for (int j = 0; j < 11; ++j)
+        for (int i = 0; i < 9; ++i)
+            EXPECT_EQ(A.at(i, j), v++);
+}
+
+TEST(TiledMatrix, TileAndAtAgree) {
+    TiledMatrix<double> A(10, 10, 3);
+    A.at(4, 7) = 3.5;  // tile (1, 2), local (1, 1)
+    EXPECT_EQ(A.tile(1, 2)(1, 1), 3.5);
+}
+
+TEST(TiledMatrix, SubViewSharesStorage) {
+    TiledMatrix<double> A(8, 8, 4);
+    auto S = A.sub(1, 1, 1, 1);
+    S.at(0, 0) = 9.0;
+    EXPECT_EQ(A.at(4, 4), 9.0);
+    EXPECT_EQ(S.m(), 4);
+}
+
+TEST(TiledMatrix, NestedSubViews) {
+    TiledMatrix<double> A(12, 12, 3);
+    auto S = A.sub(1, 1, 3, 3);
+    auto SS = S.sub(1, 1, 1, 1);
+    SS.at(0, 0) = 2.0;
+    EXPECT_EQ(A.at(6, 6), 2.0);
+}
+
+TEST(TiledMatrix, BlockCyclicOwnership) {
+    TiledMatrix<double> A(16, 16, 4, Grid{2, 2});
+    EXPECT_EQ(A.owner_rank(0, 0), 0);
+    EXPECT_EQ(A.owner_rank(0, 1), 1);
+    EXPECT_EQ(A.owner_rank(1, 0), 2);
+    EXPECT_EQ(A.owner_rank(1, 1), 3);
+    EXPECT_EQ(A.owner_rank(2, 2), 0);  // cyclic wrap
+}
+
+TEST(TiledMatrix, SubViewKeepsOwnership) {
+    TiledMatrix<double> A(16, 16, 4, Grid{2, 2});
+    auto S = A.sub(1, 1, 2, 2);
+    EXPECT_EQ(S.owner_rank(0, 0), A.owner_rank(1, 1));
+}
+
+TEST(TiledMatrix, CloneIsDeep) {
+    TiledMatrix<double> A(6, 6, 4);
+    A.at(2, 2) = 5.0;
+    auto B = A.clone();
+    B.at(2, 2) = 6.0;
+    EXPECT_EQ(A.at(2, 2), 5.0);
+    EXPECT_EQ(B.at(2, 2), 6.0);
+}
+
+TEST(TiledMatrix, TileKeysDistinct) {
+    TiledMatrix<double> A(8, 8, 4);
+    EXPECT_NE(A.tile_key(0, 0), A.tile_key(0, 1));
+    EXPECT_NE(A.tile_key(0, 0), A.tile_key(1, 0));
+}
+
+TEST(TiledMatrix, ChopHelper) {
+    auto v = TiledMatrix<double>::chop(10, 4);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 4);
+    EXPECT_EQ(v[2], 2);
+    EXPECT_TRUE(TiledMatrix<double>::chop(0, 4).empty());
+}
+
+TEST(TiledMatrix, SubViewBoundsChecked) {
+    TiledMatrix<double> A(8, 8, 4);
+    EXPECT_THROW(A.sub(0, 0, 3, 1), Error);
+}

@@ -1,0 +1,120 @@
+// Trace analysis and DAG replay: critical path, parallelism, utilization,
+// list-scheduling replay consistency.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/qdwh.hh"
+#include "gen/matgen.hh"
+#include "runtime/trace_analysis.hh"
+
+using namespace tbp;
+
+namespace {
+
+/// Build a synthetic trace by running a small task program with tracing on.
+std::vector<rt::TaskRecord> record_chain_and_fan(int chain, int fan) {
+    rt::Engine eng(3);
+    eng.set_trace(true);
+    long x = 0;
+    std::vector<long> ys(static_cast<size_t>(fan), 0);
+    for (int i = 0; i < chain; ++i)
+        eng.submit("chain", 1.0, {rt::readwrite(&x)}, [&x] { ++x; });
+    for (int i = 0; i < fan; ++i)
+        eng.submit("fan", 1.0, {rt::read(&x), rt::write(&ys[static_cast<size_t>(i)])},
+                   [&ys, &x, i] { ys[static_cast<size_t>(i)] = x; });
+    eng.wait();
+    return eng.trace();
+}
+
+}  // namespace
+
+TEST(TraceAnalysis, CountsAndWork) {
+    auto tr = record_chain_and_fan(10, 5);
+    auto s = rt::analyze(tr);
+    EXPECT_EQ(s.tasks, 15u);
+    EXPECT_GT(s.total_work, 0);
+    EXPECT_DOUBLE_EQ(s.total_flops, 15.0);
+    EXPECT_LE(s.critical_path, s.total_work + 1e-12);
+    EXPECT_GE(s.avg_parallelism, 1.0);
+}
+
+TEST(TraceAnalysis, ChainHasNoParallelism) {
+    auto tr = record_chain_and_fan(30, 0);
+    auto s = rt::analyze(tr);
+    // A pure chain: the critical path is (nearly) all the work.
+    EXPECT_GT(s.critical_path, 0.95 * s.total_work);
+    EXPECT_LT(s.avg_parallelism, 1.1);
+}
+
+TEST(TraceAnalysis, FanExposesParallelism) {
+    auto tr = record_chain_and_fan(1, 64);
+    auto s = rt::analyze(tr);
+    EXPECT_GT(s.avg_parallelism, 2.0);
+}
+
+TEST(TraceAnalysis, ReplayOneWorkerEqualsTotalWork) {
+    auto tr = record_chain_and_fan(8, 8);
+    auto s = rt::analyze(tr);
+    double const m1 = rt::replay(tr, 1);
+    EXPECT_NEAR(m1, s.total_work, 1e-9 * (1 + s.total_work));
+}
+
+TEST(TraceAnalysis, ReplayManyWorkersApproachesCriticalPath) {
+    auto tr = record_chain_and_fan(4, 64);
+    auto s = rt::analyze(tr);
+    double const inf = rt::replay(tr, 1024);
+    EXPECT_NEAR(inf, s.critical_path, 1e-9 * (1 + s.critical_path));
+}
+
+TEST(TraceAnalysis, ReplayMonotoneInWorkers) {
+    auto tr = record_chain_and_fan(4, 40);
+    double prev = rt::replay(tr, 1);
+    for (int w : {2, 4, 8, 16}) {
+        double const m = rt::replay(tr, w);
+        EXPECT_LE(m, prev * (1 + 1e-9));
+        prev = m;
+    }
+}
+
+TEST(TraceAnalysis, ReplayWithModeledTimes) {
+    auto tr = record_chain_and_fan(5, 10);
+    // Model every task as 1 second: chain of 5 + one fan level.
+    auto unit = [](rt::TaskRecord const&) { return 1.0; };
+    EXPECT_NEAR(rt::replay(tr, 1, unit), 15.0, 1e-9);
+    EXPECT_NEAR(rt::replay(tr, 1000, unit), 6.0, 1e-9);  // 5 chain + 1 fan
+    EXPECT_NEAR(rt::replay(tr, 5, unit), 7.0, 1e-9);     // fan takes ceil(10/5)
+}
+
+TEST(TraceAnalysis, WorkerUtilization) {
+    auto tr = record_chain_and_fan(5, 20);
+    auto u = rt::worker_utilization(tr);
+    EXPECT_GT(u.makespan, 0);
+    EXPECT_GT(u.utilization, 0);
+    EXPECT_LE(u.utilization, 1.0 + 1e-9);
+}
+
+TEST(TraceAnalysis, QdwhDagHasLookaheadParallelism) {
+    // The real QDWH DAG must expose substantial task parallelism — the
+    // paper's core argument for the task-based formulation.
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 1e8;
+    opt.seed = 555;
+    int const n = 96, nb = 16;
+    auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+    eng.set_trace(true);
+    eng.clear_trace();
+    TiledMatrix<double> H(n, n, nb);
+    qdwh(eng, A, H);
+    auto s = rt::analyze(eng.trace());
+    EXPECT_GT(s.tasks, 500u);
+    EXPECT_GT(s.avg_parallelism, 2.0);
+    // Replay on growing worker counts: the modeled makespan must shrink
+    // meaningfully from 1 to 8 workers (flops-proportional time model).
+    auto by_flops = [](rt::TaskRecord const& r) { return 1e-9 * (r.flops + 1e3); };
+    double const m1 = rt::replay(eng.trace(), 1, by_flops);
+    double const m8 = rt::replay(eng.trace(), 8, by_flops);
+    EXPECT_GT(m1 / m8, 2.0);
+}

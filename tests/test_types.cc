@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/flops.hh"
+#include "common/types.hh"
+
+using namespace tbp;
+
+TEST(Types, IsComplex) {
+    EXPECT_FALSE(is_complex_v<float>);
+    EXPECT_FALSE(is_complex_v<double>);
+    EXPECT_TRUE(is_complex_v<std::complex<float>>);
+    EXPECT_TRUE(is_complex_v<std::complex<double>>);
+}
+
+TEST(Types, RealType) {
+    static_assert(std::is_same_v<real_t<double>, double>);
+    static_assert(std::is_same_v<real_t<std::complex<float>>, float>);
+    static_assert(std::is_same_v<real_t<std::complex<double>>, double>);
+    SUCCEED();
+}
+
+TEST(Types, ConjVal) {
+    EXPECT_EQ(conj_val(3.0), 3.0);
+    std::complex<double> z(1.0, 2.0);
+    EXPECT_EQ(conj_val(z), std::conj(z));
+}
+
+TEST(Types, AbsSq) {
+    EXPECT_DOUBLE_EQ(abs_sq(3.0), 9.0);
+    EXPECT_DOUBLE_EQ(abs_sq(std::complex<double>(3.0, 4.0)), 25.0);
+}
+
+TEST(Types, RealPartAndFromReal) {
+    EXPECT_DOUBLE_EQ(real_part(std::complex<double>(5.0, -2.0)), 5.0);
+    EXPECT_DOUBLE_EQ(real_part(7.0), 7.0);
+    EXPECT_EQ(from_real<std::complex<double>>(2.5),
+              std::complex<double>(2.5, 0.0));
+}
+
+TEST(Types, FmaFlops) {
+    EXPECT_DOUBLE_EQ(fma_flops<double>(), 2.0);
+    EXPECT_DOUBLE_EQ(fma_flops<std::complex<double>>(), 8.0);
+}
+
+TEST(Types, ApplyOp) {
+    std::complex<double> z(1.0, 2.0);
+    EXPECT_EQ(apply_op(Op::NoTrans, z), z);
+    EXPECT_EQ(apply_op(Op::Trans, z), z);
+    EXPECT_EQ(apply_op(Op::ConjTrans, z), std::conj(z));
+}
+
+TEST(Types, Transpose) {
+    EXPECT_EQ(transpose(Op::NoTrans), Op::Trans);
+    EXPECT_EQ(transpose(Op::Trans), Op::NoTrans);
+}
+
+TEST(Types, ToString) {
+    EXPECT_STREQ(to_string(Op::ConjTrans), "ConjTrans");
+    EXPECT_STREQ(to_string(Uplo::Lower), "Lower");
+    EXPECT_STREQ(to_string(Norm::Fro), "Fro");
+}
+
+TEST(Flops, QdwhModelMatchesPaperFormula) {
+    // Paper Section 4 with 3 QR + 3 Cholesky iterations at n = 100:
+    // (4/3 + 26 + 13 + 2) n^3
+    double const n3 = 1e6;
+    EXPECT_NEAR(tbp::flops::qdwh_model(100, 3, 3),
+                (4.0 / 3.0 + 3 * (8 + 2.0 / 3.0) + 3 * (4 + 1.0 / 3.0) + 2.0) * n3,
+                1e-6 * n3);
+}
+
+TEST(Flops, BasicFormulas) {
+    EXPECT_DOUBLE_EQ(tbp::flops::gemm(2, 3, 4), 48.0);
+    EXPECT_GT(tbp::flops::geqrf(100, 50), 0.0);
+    EXPECT_GT(tbp::flops::potrf(64), 64.0 * 64 * 64 / 3);
+}

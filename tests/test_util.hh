@@ -1,0 +1,44 @@
+// Shared helpers for the TBP test suite.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <limits>
+
+#include "common/types.hh"
+#include "matrix/tiled_matrix.hh"
+#include "ref/dense.hh"
+
+namespace tbp::test {
+
+using AllTypes = ::testing::Types<float, double, std::complex<float>,
+                                  std::complex<double>>;
+using RealTypes = ::testing::Types<float, double>;
+
+/// Error tolerance: factor * machine epsilon of the real type.
+template <typename T>
+real_t<T> tol(double factor = 100.0) {
+    return static_cast<real_t<T>>(factor)
+           * std::numeric_limits<real_t<T>>::epsilon();
+}
+
+/// Condition number suitable for "ill-conditioned" tests in each precision:
+/// near 1/eps, the paper's kappa = 1e16 regime for double.
+template <typename T>
+double ill_cond() {
+    return std::is_same_v<real_t<T>, float> ? 1e7 : 1e16;
+}
+
+/// Fill a dense matrix into an existing tiled matrix (tilings arbitrary).
+template <typename T>
+void dense_to_tiled(ref::Dense<T> const& D, TiledMatrix<T>& A) {
+    ASSERT_EQ(D.m(), A.m());
+    ASSERT_EQ(D.n(), A.n());
+    for (std::int64_t j = 0; j < D.n(); ++j)
+        for (std::int64_t i = 0; i < D.m(); ++i)
+            A.at(i, j) = D(i, j);
+}
+
+}  // namespace tbp::test

@@ -1,0 +1,190 @@
+// Zolo-PD extension: elliptic-function substrate, Zolotarev coefficient
+// identities, and the polar decomposition itself (agreement with QDWH,
+// 2-iteration convergence at r = 8, accuracy at kappa = 1e16).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/elliptic.hh"
+#include "core/qdwh.hh"
+#include "core/zolopd.hh"
+#include "gen/matgen.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+TEST(Elliptic, KnownKValues) {
+    EXPECT_NEAR(ellip_K(0.0), M_PI / 2, 1e-14);
+    // K(1/sqrt(2)) = Gamma(1/4)^2 / (4 sqrt(pi)) = 1.85407467730137...
+    EXPECT_NEAR(ellip_K(1.0 / std::sqrt(2.0)), 1.854074677301372, 1e-12);
+    EXPECT_NEAR(ellip_K(0.5), 1.685750354812596, 1e-12);
+    // K diverges logarithmically as k -> 1.
+    EXPECT_GT(ellip_K(0.999999999), 10.0);
+}
+
+TEST(Elliptic, SncndnDegenerateModuli) {
+    // k = 0: circular functions.
+    for (double u : {0.3, 1.1, 2.0}) {
+        auto e = ellip_sncndn(u, 0.0);
+        EXPECT_NEAR(e.sn, std::sin(u), 1e-12);
+        EXPECT_NEAR(e.cn, std::cos(u), 1e-12);
+        EXPECT_NEAR(e.dn, 1.0, 1e-12);
+    }
+    // k = 1: hyperbolic functions.
+    for (double u : {0.5, 1.5}) {
+        auto e = ellip_sncndn(u, 1.0);
+        EXPECT_NEAR(e.sn, std::tanh(u), 1e-12);
+        EXPECT_NEAR(e.cn, 1.0 / std::cosh(u), 1e-12);
+    }
+}
+
+TEST(Elliptic, PythagoreanIdentities) {
+    for (double k : {0.1, 0.5, 0.9, 0.99999}) {
+        for (double u : {0.2, 0.8, 1.7, 3.0}) {
+            auto e = ellip_sncndn(u, k);
+            EXPECT_NEAR(e.sn * e.sn + e.cn * e.cn, 1.0, 1e-10);
+            EXPECT_NEAR(e.dn * e.dn + k * k * e.sn * e.sn, 1.0, 1e-10);
+        }
+    }
+}
+
+TEST(Elliptic, QuarterPeriod) {
+    // sn(K, k) = 1, cn(K, k) = 0.
+    for (double k : {0.3, 0.7, 0.95}) {
+        auto e = ellip_sncndn(ellip_K(k), k);
+        EXPECT_NEAR(e.sn, 1.0, 1e-9);
+        EXPECT_NEAR(e.cn, 0.0, 1e-9);
+    }
+}
+
+TEST(ZoloCoeffs, PartialFractionMatchesProductForm) {
+    // f(x) = x prod (x^2+c_2j)/(x^2+c_{2j-1}) == x (1 + sum a_j/(x^2+c_{2j-1})).
+    for (double l : {0.5, 1e-2, 1e-8}) {
+        for (int r : {2, 4, 8}) {
+            auto z = tbp::detail::zolo_coeffs(l, r);
+            for (double x : {l, 0.5 * (l + 1), 1.0}) {
+                double prod = x;
+                for (int j = 1; j <= r; ++j)
+                    prod *= (x * x + z.c[static_cast<size_t>(2 * j - 1)])
+                            / (x * x + z.c[static_cast<size_t>(2 * j - 2)]);
+                double pf = 1;
+                for (int j = 1; j <= r; ++j)
+                    pf += z.a[static_cast<size_t>(j - 1)]
+                          / (x * x + z.c[static_cast<size_t>(2 * j - 2)]);
+                pf *= x;
+                EXPECT_NEAR(pf, prod, 1e-9 * std::abs(prod) + 1e-12)
+                    << "l=" << l << " r=" << r << " x=" << x;
+            }
+        }
+    }
+}
+
+TEST(ZoloCoeffs, MapContractsTowardOne) {
+    // One application of f/f(1) must map [l, 1] onto [l', 1] with l' >> l.
+    for (double l : {1e-4, 1e-8}) {
+        auto z = tbp::detail::zolo_coeffs(l, 8);
+        double const lp = z.f_min / z.f_max;
+        EXPECT_GT(lp, std::pow(l, 0.1));  // dramatic contraction at r = 8
+        EXPECT_LE(lp, 1.0);
+        EXPECT_GT(lp, l);
+    }
+}
+
+template <typename T>
+class ZoloPd : public ::testing::Test {};
+TYPED_TEST_SUITE(ZoloPd, test::AllTypes);
+
+TYPED_TEST(ZoloPd, IllConditionedAccuracy) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = test::ill_cond<T>();
+    opt.seed = 131;
+    int const n = 24, nb = 8;
+    auto A = gen::cond_matrix<T>(eng, n, n, nb, opt);
+    auto Ad = ref::to_dense(A);
+    TiledMatrix<T> H(n, n, nb);
+    auto info = zolo_pd(eng, A, H);
+    auto U = ref::to_dense(A);
+    EXPECT_LE(ref::orthogonality(U) / std::sqrt(real_t<T>(n)), test::tol<T>(200));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, ref::to_dense(H));
+    EXPECT_LE(ref::diff_fro(UH, Ad) / ref::norm_fro(Ad), test::tol<T>(200));
+    EXPECT_LE(info.iterations, 4);
+}
+
+TYPED_TEST(ZoloPd, AgreesWithQdwh) {
+    using T = TypeParam;
+    gen::MatGenOptions opt;
+    opt.cond = 1e5;
+    opt.seed = 132;
+    int const n = 18, nb = 6;
+    ref::Dense<T> u_zolo, u_qdwh;
+    {
+        rt::Engine eng(3);
+        auto A = gen::cond_matrix<T>(eng, n, n, nb, opt);
+        TiledMatrix<T> H(n, n, nb);
+        zolo_pd(eng, A, H);
+        u_zolo = ref::to_dense(A);
+    }
+    {
+        rt::Engine eng(3);
+        auto A = gen::cond_matrix<T>(eng, n, n, nb, opt);
+        TiledMatrix<T> H(n, n, nb);
+        qdwh(eng, A, H);
+        u_qdwh = ref::to_dense(A);
+    }
+    EXPECT_LE(ref::diff_fro(u_zolo, u_qdwh), test::tol<T>(50000));
+}
+
+TEST(ZoloPdDouble, TwoIterationsAtR8) {
+    // The Zolotarev degree-17 function handles kappa = 1e16 in 2 iterations
+    // (Nakatsukasa-Freund), vs QDWH's 6.
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 1e16;
+    opt.seed = 133;
+    int const n = 32, nb = 8;
+    auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+    TiledMatrix<double> H(n, n, nb);
+    ZoloOptions o;
+    o.r = 8;
+    auto info = zolo_pd(eng, A, H, o);
+    EXPECT_LE(info.iterations, 3);
+    EXPECT_GE(info.qr_solves, o.r);  // first sweep runs r independent QRs
+}
+
+TEST(ZoloPdDouble, SmallerRNeedsMoreIterations) {
+    gen::MatGenOptions opt;
+    opt.cond = 1e12;
+    opt.seed = 134;
+    int const n = 24, nb = 8;
+    int iters_r2 = 0, iters_r8 = 0;
+    for (int r : {2, 8}) {
+        rt::Engine eng(3);
+        auto A = gen::cond_matrix<double>(eng, n, n, nb, opt);
+        TiledMatrix<double> H(n, n, nb);
+        ZoloOptions o;
+        o.r = r;
+        auto info = zolo_pd(eng, A, H, o);
+        (r == 2 ? iters_r2 : iters_r8) = info.iterations;
+    }
+    EXPECT_GE(iters_r2, iters_r8);
+}
+
+TYPED_TEST(ZoloPd, Rectangular) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;
+    opt.seed = 135;
+    int const m = 30, n = 13, nb = 6;
+    auto A = gen::cond_matrix<T>(eng, m, n, nb, opt);
+    auto Ad = ref::to_dense(A);
+    TiledMatrix<T> H(n, n, nb);
+    zolo_pd(eng, A, H);
+    auto U = ref::to_dense(A);
+    EXPECT_LE(ref::orthogonality(U) / std::sqrt(real_t<T>(n)), test::tol<T>(200));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, ref::to_dense(H));
+    EXPECT_LE(ref::diff_fro(UH, Ad) / ref::norm_fro(Ad), test::tol<T>(200));
+}

@@ -1,0 +1,261 @@
+// tbp_driver — command-line driver for the TBP polar decomposition stack,
+// in the spirit of SLATE's `tester`: pick an algorithm, a matrix, a
+// schedule, and get the paper's metrics printed.
+//
+// Usage:
+//   tbp_driver [--algo qdwh|zolo|mixed|newton|svdpd|svd]
+//              [--m M] [--n N] [--nb NB] [--cond KAPPA]
+//              [--dist geom|arith|cluster|loguni]
+//              [--type s|d|c|z] [--mode task|forkjoin|seq]
+//              [--threads T] [--seed S] [--r R] [--verbose]
+//
+// Examples:
+//   tbp_driver --algo qdwh --n 512 --cond 1e16
+//   tbp_driver --algo zolo --n 256 --r 8 --type z
+//   tbp_driver --algo qdwh --n 384 --mode forkjoin   # ScaLAPACK-style run
+
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timer.hh"
+#include "core/baselines.hh"
+#include "core/qdwh.hh"
+#include "core/qdwh_mixed.hh"
+#include "core/qdwh_svd.hh"
+#include "core/zolopd.hh"
+#include "gen/matgen.hh"
+#include "ref/dense.hh"
+
+using namespace tbp;
+
+namespace {
+
+struct Args {
+    std::string algo = "qdwh";
+    std::int64_t m = 0;  // 0 -> square (= n)
+    std::int64_t n = 256;
+    int nb = 32;
+    double cond = 1e12;
+    gen::SigmaDist dist = gen::SigmaDist::Geometric;
+    char type = 'd';
+    rt::Mode mode = rt::Mode::TaskDataflow;
+    int threads = 3;
+    std::uint64_t seed = 42;
+    int r = 8;
+    bool verbose = false;
+};
+
+[[noreturn]] void usage(char const* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--algo qdwh|zolo|mixed|newton|svdpd|svd] [--m M] "
+                 "[--n N]\n"
+                 "          [--nb NB] [--cond K] [--dist geom|arith|cluster|"
+                 "loguni]\n"
+                 "          [--type s|d|c|z] [--mode task|forkjoin|seq] "
+                 "[--threads T]\n"
+                 "          [--seed S] [--r R] [--verbose]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](char const* flag) -> char const* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--algo")) {
+            a.algo = need("--algo");
+        } else if (!std::strcmp(argv[i], "--m")) {
+            a.m = std::atoll(need("--m"));
+        } else if (!std::strcmp(argv[i], "--n")) {
+            a.n = std::atoll(need("--n"));
+        } else if (!std::strcmp(argv[i], "--nb")) {
+            a.nb = std::atoi(need("--nb"));
+        } else if (!std::strcmp(argv[i], "--cond")) {
+            a.cond = std::atof(need("--cond"));
+        } else if (!std::strcmp(argv[i], "--dist")) {
+            std::string d = need("--dist");
+            a.dist = d == "arith"     ? gen::SigmaDist::Arithmetic
+                     : d == "cluster" ? gen::SigmaDist::ClusterAtOne
+                     : d == "loguni"  ? gen::SigmaDist::LogUniform
+                                      : gen::SigmaDist::Geometric;
+        } else if (!std::strcmp(argv[i], "--type")) {
+            a.type = need("--type")[0];
+        } else if (!std::strcmp(argv[i], "--mode")) {
+            std::string m = need("--mode");
+            a.mode = m == "forkjoin" ? rt::Mode::ForkJoin
+                     : m == "seq"    ? rt::Mode::Sequential
+                                     : rt::Mode::TaskDataflow;
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            a.threads = std::atoi(need("--threads"));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            a.seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
+        } else if (!std::strcmp(argv[i], "--r")) {
+            a.r = std::atoi(need("--r"));
+        } else if (!std::strcmp(argv[i], "--verbose")) {
+            a.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            usage(argv[0]);
+        }
+    }
+    if (a.m == 0)
+        a.m = a.n;
+    if (a.m < a.n) {
+        std::fprintf(stderr, "require m >= n\n");
+        std::exit(2);
+    }
+    return a;
+}
+
+template <typename T>
+int run_tiled(Args const& a) {
+    rt::Engine eng(a.threads, a.mode);
+    gen::MatGenOptions opt;
+    opt.cond = a.cond;
+    opt.dist = a.dist;
+    opt.seed = a.seed;
+
+    Timer t_gen;
+    auto A = gen::cond_matrix<T>(eng, a.m, a.n, a.nb, opt);
+    auto Ad = ref::to_dense(A);
+    double const gen_s = t_gen.elapsed();
+
+    TiledMatrix<T> H(a.n, a.n, a.nb);
+    Timer t_run;
+    int iters = 0, it_qr = 0, it_chol = 0;
+    double flops = 0;
+    eng.reset_stats();
+
+    if (a.algo == "qdwh") {
+        auto info = qdwh(eng, A, H);
+        iters = info.iterations;
+        it_qr = info.it_qr;
+        it_chol = info.it_chol;
+        flops = info.flops;
+    } else if (a.algo == "zolo") {
+        ZoloOptions zo;
+        zo.r = a.r;
+        auto info = zolo_pd(eng, A, H, zo);
+        iters = info.iterations;
+        it_qr = info.qr_solves;
+        it_chol = info.chol_solves;
+        flops = info.flops;
+    } else if (a.algo == "mixed") {
+        if constexpr (std::is_same_v<T, double>) {
+            auto info = qdwh_mixed(eng, A, H);
+            iters = info.low_precision.iterations;
+            it_qr = info.low_precision.it_qr;
+            it_chol = info.refine_steps;
+            flops = info.low_precision.flops;
+        } else {
+            std::fprintf(stderr, "--algo mixed requires --type d\n");
+            return 2;
+        }
+    } else if (a.algo == "svd") {
+        auto res = qdwh_svd(eng, A, {});
+        double const secs = t_run.elapsed();
+        std::printf("algo=svd n=%lld sigma_max=%.6e sigma_min=%.6e time=%.3fs\n",
+                    static_cast<long long>(a.n), static_cast<double>(res.sigma.front()),
+                    static_cast<double>(res.sigma.back()), secs);
+        return 0;
+    } else {
+        std::fprintf(stderr, "unknown tiled algo %s\n", a.algo.c_str());
+        return 2;
+    }
+    double const secs = t_run.elapsed();
+
+    // The paper's metrics.
+    auto U = ref::to_dense(A);
+    auto Hd = ref::to_dense(H);
+    double const orth =
+        ref::orthogonality(U) / std::sqrt(static_cast<double>(a.n));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, Hd);
+    double const bwd = ref::diff_fro(UH, Ad) / ref::norm_fro(Ad);
+
+    std::printf("algo=%-6s type=%c m=%lld n=%lld nb=%d cond=%.1e mode=%s\n",
+                a.algo.c_str(), a.type, static_cast<long long>(a.m),
+                static_cast<long long>(a.n), a.nb, a.cond,
+                a.mode == rt::Mode::TaskDataflow ? "task"
+                : a.mode == rt::Mode::ForkJoin   ? "forkjoin"
+                                                 : "seq");
+    std::printf("  iterations %d (qr/solves %d, chol %d)   time %.3fs   "
+                "%.2f Gflop/s\n",
+                iters, it_qr, it_chol, secs, flops / secs / 1e9);
+    std::printf("  ||I-U'U||/sqrt(n) = %.3e   ||A-UH||/||A|| = %.3e\n", orth,
+                bwd);
+    if (a.verbose)
+        std::printf("  gen time %.3fs   tasks %llu\n", gen_s,
+                    static_cast<unsigned long long>(eng.tasks_executed()));
+    return 0;
+}
+
+template <typename T>
+int run_dense(Args const& a) {
+    rt::Engine eng(a.threads);
+    gen::MatGenOptions opt;
+    opt.cond = a.cond;
+    opt.dist = a.dist;
+    opt.seed = a.seed;
+    auto Ad = ref::to_dense(gen::cond_matrix<T>(eng, a.m, a.n, a.nb, opt));
+
+    ref::Dense<T> U, H;
+    Timer t_run;
+    int iters = 0;
+    if (a.algo == "newton") {
+        if (a.m != a.n) {
+            std::fprintf(stderr, "newton requires a square matrix\n");
+            return 2;
+        }
+        auto info = newton_polar(Ad, U, H);
+        iters = info.iterations;
+    } else {
+        svd_polar(Ad, U, H);
+    }
+    double const secs = t_run.elapsed();
+    double const orth =
+        ref::orthogonality(U) / std::sqrt(static_cast<double>(a.n));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, H);
+    double const bwd = ref::diff_fro(UH, Ad) / ref::norm_fro(Ad);
+    std::printf("algo=%-6s type=%c n=%lld cond=%.1e (dense baseline)\n",
+                a.algo.c_str(), a.type, static_cast<long long>(a.n), a.cond);
+    std::printf("  iterations %d   time %.3fs\n", iters, secs);
+    std::printf("  ||I-U'U||/sqrt(n) = %.3e   ||A-UH||/||A|| = %.3e\n", orth,
+                bwd);
+    return 0;
+}
+
+template <typename T>
+int dispatch(Args const& a) {
+    if (a.algo == "newton" || a.algo == "svdpd")
+        return run_dense<T>(a);
+    return run_tiled<T>(a);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    auto const a = parse(argc, argv);
+    try {
+        switch (a.type) {
+            case 's': return dispatch<float>(a);
+            case 'd': return dispatch<double>(a);
+            case 'c': return dispatch<std::complex<float>>(a);
+            case 'z': return dispatch<std::complex<double>>(a);
+            default:
+                std::fprintf(stderr, "unknown type '%c'\n", a.type);
+                return 2;
+        }
+    } catch (std::exception const& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
