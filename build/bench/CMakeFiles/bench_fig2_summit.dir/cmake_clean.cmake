@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_summit.dir/bench_fig2_summit.cc.o"
+  "CMakeFiles/bench_fig2_summit.dir/bench_fig2_summit.cc.o.d"
+  "bench_fig2_summit"
+  "bench_fig2_summit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_summit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

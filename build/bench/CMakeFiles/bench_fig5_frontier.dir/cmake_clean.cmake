@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_frontier.dir/bench_fig5_frontier.cc.o"
+  "CMakeFiles/bench_fig5_frontier.dir/bench_fig5_frontier.cc.o.d"
+  "bench_fig5_frontier"
+  "bench_fig5_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flops_model.dir/bench_flops_model.cc.o"
+  "CMakeFiles/bench_flops_model.dir/bench_flops_model.cc.o.d"
+  "bench_flops_model"
+  "bench_flops_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flops_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

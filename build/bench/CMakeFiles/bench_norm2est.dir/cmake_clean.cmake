@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_norm2est.dir/bench_norm2est.cc.o"
+  "CMakeFiles/bench_norm2est.dir/bench_norm2est.cc.o.d"
+  "bench_norm2est"
+  "bench_norm2est.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_norm2est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qdwh_cpu.dir/bench_qdwh_cpu.cc.o"
+  "CMakeFiles/bench_qdwh_cpu.dir/bench_qdwh_cpu.cc.o.d"
+  "bench_qdwh_cpu"
+  "bench_qdwh_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qdwh_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

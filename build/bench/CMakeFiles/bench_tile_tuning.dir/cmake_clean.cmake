@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tile_tuning.dir/bench_tile_tuning.cc.o"
+  "CMakeFiles/bench_tile_tuning.dir/bench_tile_tuning.cc.o.d"
+  "bench_tile_tuning"
+  "bench_tile_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tile_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

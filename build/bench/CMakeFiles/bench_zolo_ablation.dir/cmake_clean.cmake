@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zolo_ablation.dir/bench_zolo_ablation.cc.o"
+  "CMakeFiles/bench_zolo_ablation.dir/bench_zolo_ablation.cc.o.d"
+  "bench_zolo_ablation"
+  "bench_zolo_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zolo_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procrustes.dir/procrustes.cpp.o"
+  "CMakeFiles/procrustes.dir/procrustes.cpp.o.d"
+  "procrustes"
+  "procrustes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procrustes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_slicing.dir/spectrum_slicing.cpp.o"
+  "CMakeFiles/spectrum_slicing.dir/spectrum_slicing.cpp.o.d"
+  "spectrum_slicing"
+  "spectrum_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

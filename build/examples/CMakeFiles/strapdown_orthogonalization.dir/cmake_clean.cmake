@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strapdown_orthogonalization.dir/strapdown_orthogonalization.cpp.o"
+  "CMakeFiles/strapdown_orthogonalization.dir/strapdown_orthogonalization.cpp.o.d"
+  "strapdown_orthogonalization"
+  "strapdown_orthogonalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strapdown_orthogonalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for strapdown_orthogonalization.
+# This may be replaced when dependencies are built.

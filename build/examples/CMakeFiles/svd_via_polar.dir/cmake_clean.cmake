@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_via_polar.dir/svd_via_polar.cpp.o"
+  "CMakeFiles/svd_via_polar.dir/svd_via_polar.cpp.o.d"
+  "svd_via_polar"
+  "svd_via_polar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_via_polar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

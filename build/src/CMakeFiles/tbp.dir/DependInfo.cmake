@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cc" "src/CMakeFiles/tbp.dir/comm/communicator.cc.o" "gcc" "src/CMakeFiles/tbp.dir/comm/communicator.cc.o.d"
+  "/root/repo/src/common/error.cc" "src/CMakeFiles/tbp.dir/common/error.cc.o" "gcc" "src/CMakeFiles/tbp.dir/common/error.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/tbp.dir/common/types.cc.o" "gcc" "src/CMakeFiles/tbp.dir/common/types.cc.o.d"
+  "/root/repo/src/perf/cost_model.cc" "src/CMakeFiles/tbp.dir/perf/cost_model.cc.o" "gcc" "src/CMakeFiles/tbp.dir/perf/cost_model.cc.o.d"
+  "/root/repo/src/perf/machine.cc" "src/CMakeFiles/tbp.dir/perf/machine.cc.o" "gcc" "src/CMakeFiles/tbp.dir/perf/machine.cc.o.d"
+  "/root/repo/src/perf/qdwh_model.cc" "src/CMakeFiles/tbp.dir/perf/qdwh_model.cc.o" "gcc" "src/CMakeFiles/tbp.dir/perf/qdwh_model.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/tbp.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/tbp.dir/runtime/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

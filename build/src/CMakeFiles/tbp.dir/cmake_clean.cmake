@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp.dir/comm/communicator.cc.o"
+  "CMakeFiles/tbp.dir/comm/communicator.cc.o.d"
+  "CMakeFiles/tbp.dir/common/error.cc.o"
+  "CMakeFiles/tbp.dir/common/error.cc.o.d"
+  "CMakeFiles/tbp.dir/common/types.cc.o"
+  "CMakeFiles/tbp.dir/common/types.cc.o.d"
+  "CMakeFiles/tbp.dir/perf/cost_model.cc.o"
+  "CMakeFiles/tbp.dir/perf/cost_model.cc.o.d"
+  "CMakeFiles/tbp.dir/perf/machine.cc.o"
+  "CMakeFiles/tbp.dir/perf/machine.cc.o.d"
+  "CMakeFiles/tbp.dir/perf/qdwh_model.cc.o"
+  "CMakeFiles/tbp.dir/perf/qdwh_model.cc.o.d"
+  "CMakeFiles/tbp.dir/runtime/engine.cc.o"
+  "CMakeFiles/tbp.dir/runtime/engine.cc.o.d"
+  "libtbp.a"
+  "libtbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_factor.dir/test_blas_factor.cc.o"
+  "CMakeFiles/test_blas_factor.dir/test_blas_factor.cc.o.d"
+  "test_blas_factor"
+  "test_blas_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

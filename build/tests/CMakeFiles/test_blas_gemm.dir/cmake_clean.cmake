@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_gemm.dir/test_blas_gemm.cc.o"
+  "CMakeFiles/test_blas_gemm.dir/test_blas_gemm.cc.o.d"
+  "test_blas_gemm"
+  "test_blas_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_householder.dir/test_blas_householder.cc.o"
+  "CMakeFiles/test_blas_householder.dir/test_blas_householder.cc.o.d"
+  "test_blas_householder"
+  "test_blas_householder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_householder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_level3.dir/test_blas_level3.cc.o"
+  "CMakeFiles/test_blas_level3.dir/test_blas_level3.cc.o.d"
+  "test_blas_level3"
+  "test_blas_level3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_level3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_algs.dir/test_dist_algs.cc.o"
+  "CMakeFiles/test_dist_algs.dir/test_dist_algs.cc.o.d"
+  "test_dist_algs"
+  "test_dist_algs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_algs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

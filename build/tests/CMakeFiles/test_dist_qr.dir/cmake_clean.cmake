@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_qr.dir/test_dist_qr.cc.o"
+  "CMakeFiles/test_dist_qr.dir/test_dist_qr.cc.o.d"
+  "test_dist_qr"
+  "test_dist_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemma_param.dir/test_gemma_param.cc.o"
+  "CMakeFiles/test_gemma_param.dir/test_gemma_param.cc.o.d"
+  "test_gemma_param"
+  "test_gemma_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemma_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geqrf_param.dir/test_geqrf_param.cc.o"
+  "CMakeFiles/test_geqrf_param.dir/test_geqrf_param.cc.o.d"
+  "test_geqrf_param"
+  "test_geqrf_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geqrf_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

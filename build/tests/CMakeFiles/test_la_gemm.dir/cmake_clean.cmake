@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_gemm.dir/test_la_gemm.cc.o"
+  "CMakeFiles/test_la_gemm.dir/test_la_gemm.cc.o.d"
+  "test_la_gemm"
+  "test_la_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_geqrf.dir/test_la_geqrf.cc.o"
+  "CMakeFiles/test_la_geqrf.dir/test_la_geqrf.cc.o.d"
+  "test_la_geqrf"
+  "test_la_geqrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_geqrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

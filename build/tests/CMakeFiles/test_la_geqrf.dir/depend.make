@@ -1,0 +1,2 @@
+# Empty dependencies file for test_la_geqrf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_potrf.dir/test_la_potrf.cc.o"
+  "CMakeFiles/test_la_potrf.dir/test_la_potrf.cc.o.d"
+  "test_la_potrf"
+  "test_la_potrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_potrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

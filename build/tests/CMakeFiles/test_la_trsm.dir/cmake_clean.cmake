@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_trsm.dir/test_la_trsm.cc.o"
+  "CMakeFiles/test_la_trsm.dir/test_la_trsm.cc.o.d"
+  "test_la_trsm"
+  "test_la_trsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_trsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_util.dir/test_la_util.cc.o"
+  "CMakeFiles/test_la_util.dir/test_la_util.cc.o.d"
+  "test_la_util"
+  "test_la_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matgen.dir/test_matgen.cc.o"
+  "CMakeFiles/test_matgen.dir/test_matgen.cc.o.d"
+  "test_matgen"
+  "test_matgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

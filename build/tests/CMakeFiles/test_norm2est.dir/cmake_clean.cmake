@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norm2est.dir/test_norm2est.cc.o"
+  "CMakeFiles/test_norm2est.dir/test_norm2est.cc.o.d"
+  "test_norm2est"
+  "test_norm2est.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norm2est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

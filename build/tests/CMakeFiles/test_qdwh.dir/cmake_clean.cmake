@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qdwh.dir/test_qdwh.cc.o"
+  "CMakeFiles/test_qdwh.dir/test_qdwh.cc.o.d"
+  "test_qdwh"
+  "test_qdwh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qdwh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

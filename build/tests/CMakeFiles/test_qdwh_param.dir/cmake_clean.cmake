@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qdwh_param.dir/test_qdwh_param.cc.o"
+  "CMakeFiles/test_qdwh_param.dir/test_qdwh_param.cc.o.d"
+  "test_qdwh_param"
+  "test_qdwh_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qdwh_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

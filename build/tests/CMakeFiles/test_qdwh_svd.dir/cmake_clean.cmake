@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qdwh_svd.dir/test_qdwh_svd.cc.o"
+  "CMakeFiles/test_qdwh_svd.dir/test_qdwh_svd.cc.o.d"
+  "test_qdwh_svd"
+  "test_qdwh_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qdwh_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref.dir/test_ref.cc.o"
+  "CMakeFiles/test_ref.dir/test_ref.cc.o.d"
+  "test_ref"
+  "test_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled_matrix.dir/test_tiled_matrix.cc.o"
+  "CMakeFiles/test_tiled_matrix.dir/test_tiled_matrix.cc.o.d"
+  "test_tiled_matrix"
+  "test_tiled_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

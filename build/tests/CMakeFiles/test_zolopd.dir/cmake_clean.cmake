@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zolopd.dir/test_zolopd.cc.o"
+  "CMakeFiles/test_zolopd.dir/test_zolopd.cc.o.d"
+  "test_zolopd"
+  "test_zolopd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zolopd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_zolopd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbp_driver.dir/tbp_driver.cc.o"
+  "CMakeFiles/tbp_driver.dir/tbp_driver.cc.o.d"
+  "tbp_driver"
+  "tbp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

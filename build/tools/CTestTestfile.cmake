@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(driver_qdwh "/root/repo/build/tools/tbp_driver" "--algo" "qdwh" "--n" "64" "--cond" "1e10")
+set_tests_properties(driver_qdwh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(driver_zolo "/root/repo/build/tools/tbp_driver" "--algo" "zolo" "--n" "48" "--r" "4")
+set_tests_properties(driver_zolo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(driver_mixed "/root/repo/build/tools/tbp_driver" "--algo" "mixed" "--n" "64" "--cond" "1e4")
+set_tests_properties(driver_mixed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(driver_newton "/root/repo/build/tools/tbp_driver" "--algo" "newton" "--n" "48" "--cond" "1e3")
+set_tests_properties(driver_newton PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(driver_svdpd "/root/repo/build/tools/tbp_driver" "--algo" "svdpd" "--n" "48" "--cond" "1e6")
+set_tests_properties(driver_svdpd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(driver_svd "/root/repo/build/tools/tbp_driver" "--algo" "svd" "--n" "48" "--cond" "1e4")
+set_tests_properties(driver_svd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(driver_complex_forkjoin "/root/repo/build/tools/tbp_driver" "--algo" "qdwh" "--n" "48" "--type" "z" "--mode" "forkjoin")
+set_tests_properties(driver_complex_forkjoin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
