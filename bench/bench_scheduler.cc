@@ -1,0 +1,150 @@
+// Scheduler microbenchmark: the work-stealing per-worker deques vs the
+// legacy single-mutex global queue, on DAGs shaped like QDWH's building
+// blocks at fine tile granularity (where scheduler overhead, not kernel
+// flops, dominates). Reports tasks/sec, makespan, and steal counts — the
+// measured version of the paper's task-based-vs-fork-join argument applied
+// to the runtime itself.
+//
+//   BM_SynthQdwhIteration  - synthetic panel+update sweeps with microsecond
+//                            task bodies (pure scheduler overhead)
+//   BM_GeqrfFineTiles      - the real tile QR driver on tiny tiles
+//
+// Run: bench_scheduler [--benchmark_filter=...]; TBP_THREADS sets pool size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "gen/matgen.hh"
+#include "linalg/geqrf.hh"
+#include "perf/sched_report.hh"
+#include "runtime/engine.hh"
+
+using namespace tbp;
+
+namespace {
+
+// Pool size: TBP_THREADS if set, else one worker per hardware thread (the
+// production configuration). Oversubscribing a small machine measures OS
+// timeslicing, not the scheduler.
+int threads() {
+    if (char const* env = std::getenv("TBP_THREADS"))
+        return std::atoi(env);
+    unsigned const hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 2;
+}
+
+rt::Sched sched_of(int s) {
+    return s == 0 ? rt::Sched::GlobalQueue : rt::Sched::WorkStealing;
+}
+
+char const* sched_name(int s) { return s == 0 ? "global" : "steal"; }
+
+/// A microsecond-scale task body standing in for a tiny tile kernel.
+void tiny_kernel(double* acc) {
+    double x = *acc + 1.0;
+    for (int k = 0; k < 64; ++k)
+        x = x * 1.0000001 + 0.5;
+    *acc = x;
+}
+
+/// Submit one QDWH-iteration-shaped epoch: `sweeps` successive right-looking
+/// factorization sweeps over an nt x nt tile grid (panel task, panel column,
+/// trailing updates), each sweep depending on the previous through the same
+/// tiles — the lookahead structure the dataflow engine exploits.
+std::uint64_t submit_qdwh_shaped(rt::Engine& eng, std::vector<double>& tiles,
+                                 int nt, int sweeps) {
+    auto key = [&](int i, int j) -> double* {
+        return &tiles[static_cast<size_t>(i) * nt + j];
+    };
+    std::uint64_t n_tasks = 0;
+    for (int s = 0; s < sweeps; ++s) {
+        for (int k = 0; k < nt; ++k) {
+            eng.submit("panel", {rt::readwrite(key(k, k))},
+                       [p = key(k, k)] { tiny_kernel(p); }, /*priority=*/1);
+            ++n_tasks;
+            for (int i = k + 1; i < nt; ++i) {
+                eng.submit("panel_col",
+                           {rt::read(key(k, k)), rt::readwrite(key(i, k))},
+                           [p = key(i, k)] { tiny_kernel(p); }, /*priority=*/1);
+                ++n_tasks;
+            }
+            for (int j = k + 1; j < nt; ++j)
+                for (int i = k + 1; i < nt; ++i) {
+                    eng.submit("update",
+                               {rt::read(key(i, k)), rt::read(key(k, j)),
+                                rt::readwrite(key(i, j))},
+                               [p = key(i, j)] { tiny_kernel(p); });
+                    ++n_tasks;
+                }
+        }
+    }
+    return n_tasks;
+}
+
+void BM_SynthQdwhIteration(benchmark::State& state) {
+    int const s = static_cast<int>(state.range(0));
+    int const nt = static_cast<int>(state.range(1));
+    rt::Engine eng(threads(), rt::Mode::TaskDataflow, sched_of(s));
+    std::vector<double> tiles(static_cast<size_t>(nt) * nt, 0.0);
+    std::uint64_t n_tasks = 0;
+    for (auto _ : state) {
+        n_tasks += submit_qdwh_shaped(eng, tiles, nt, /*sweeps=*/3);
+        eng.wait();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n_tasks));
+    auto const st = eng.sched_stats();
+    state.counters["steals"] = static_cast<double>(st.steals);
+    state.counters["sleeps"] = static_cast<double>(st.sleeps);
+    state.SetLabel(sched_name(s));
+}
+
+void BM_GeqrfFineTiles(benchmark::State& state) {
+    int const s = static_cast<int>(state.range(0));
+    std::int64_t const n = state.range(1);
+    int const nb = 8;  // deliberately tiny tiles: many tasks, little work
+    rt::Engine eng(threads(), rt::Mode::TaskDataflow, sched_of(s));
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;
+    opt.seed = 77;
+    auto A0 = gen::cond_matrix<double>(eng, n, n, nb, opt);
+    TiledMatrix<double> A(n, n, nb);
+    auto Tm = la::alloc_qr_t(A);
+    std::uint64_t n_tasks = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        la::copy(eng, A0, A);
+        eng.wait();
+        eng.reset_stats();
+        state.ResumeTiming();
+        la::geqrf(eng, A, Tm);
+        eng.wait();
+        n_tasks += eng.tasks_executed();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n_tasks));
+    auto const st = eng.sched_stats();
+    state.counters["steals"] = static_cast<double>(st.steals);
+    state.SetLabel(sched_name(s));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SynthQdwhIteration)
+    ->ArgNames({"sched", "nt"})
+    ->Args({0, 12})
+    ->Args({1, 12})
+    ->Args({0, 20})
+    ->Args({1, 20})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_GeqrfFineTiles)
+    ->ArgNames({"sched", "n"})
+    ->Args({0, 128})
+    ->Args({1, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

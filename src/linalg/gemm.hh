@@ -114,6 +114,8 @@ void gemmA(rt::Engine& eng, Op opA, T alpha, TiledMatrix<T> A,
                 acc.push_back(rt::read(work->data() + static_cast<size_t>(l) * mb * nb));
             acc.push_back(beta == T(0) ? rt::write(C.tile_key(i, j))
                                        : rt::readwrite(C.tile_key(i, j)));
+            // The reduction gates everything downstream of C (norm2est's
+            // power-iteration chain); run it ahead of unrelated updates.
             eng.submit("gemmA_reduce", 0.0, std::move(acc), [=] {
                 auto ct = C.tile(i, j);
                 for (int c = 0; c < nb; ++c)
@@ -126,7 +128,8 @@ void gemmA(rt::Engine& eng, Op opA, T alpha, TiledMatrix<T> A,
                         for (int r = 0; r < mb; ++r)
                             ct(r, c) += wt(r, c);
                 }
-            });
+            },
+            /*priority=*/1);
         }
     }
     eng.op_fence();

@@ -46,12 +46,16 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
     for (int k = 0; k < kt; ++k) {
         int const nbk = A.tile_nb(k);
         double const fl_ge = flops::geqrf(A.tile_mb(k), nbk) * (fma_flops<T>() / 2.0);
+        // The geqrt/tsqrt panel chain is the factorization's critical path;
+        // priority 1 keeps it ahead of the unmqr/tsmqr trailing updates
+        // (SLATE's `omp priority` hint on panel tasks).
         eng.submit("geqrt", fl_ge,
                    {rt::readwrite(A.tile_key(k, k)), rt::write(Tmat.tile_key(k, k))},
                    [A, Tmat, k, nbk] {
                        auto tt = Tmat.tile(k, k).sub(0, 0, nbk, nbk);
                        blas::geqrt(A.tile(k, k), tt);
-                   });
+                   },
+                   /*priority=*/1);
 
         for (int j = k + 1; j < nt; ++j) {
             double const fl = 4.0 * A.tile_mb(k) * nbk * A.tile_nb(j)
@@ -75,7 +79,8 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
                        [A, Tmat, i, k, nbk] {
                            auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
                            blas::tsqrt(A.tile(k, k), A.tile(i, k), tt);
-                       });
+                       },
+                       /*priority=*/1);
 
             for (int j = k + 1; j < nt; ++j) {
                 double const fl = 4.0 * A.tile_mb(i) * nbk * A.tile_nb(j)

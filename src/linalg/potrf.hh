@@ -28,8 +28,11 @@ void potrf(rt::Engine& eng, Uplo uplo, TiledMatrix<T> A) {
 
     for (int k = 0; k < nt; ++k) {
         double const fl_p = flops::potrf(A.tile_nb(k)) * (fma_flops<T>() / 2.0);
+        // Panel tasks carry priority 1 (SLATE's `omp priority` on panels):
+        // the k+1 panel chain must not starve behind trailing updates.
         eng.submit("potrf", fl_p, {rt::readwrite(A.tile_key(k, k))},
-                   [A, k] { blas::potrf(Uplo::Lower, A.tile(k, k)); });
+                   [A, k] { blas::potrf(Uplo::Lower, A.tile(k, k)); },
+                   /*priority=*/1);
 
         for (int i = k + 1; i < nt; ++i) {
             double const fl = flops::trsm_right(A.tile_mb(i), A.tile_nb(k))
@@ -40,7 +43,8 @@ void potrf(rt::Engine& eng, Uplo uplo, TiledMatrix<T> A) {
                            blas::trsm(Side::Right, Uplo::Lower, Op::ConjTrans,
                                       Diag::NonUnit, T(1), A.tile(k, k),
                                       A.tile(i, k));
-                       });
+                       },
+                       /*priority=*/1);
         }
         for (int j = k + 1; j < nt; ++j) {
             double const fl_h = flops::syrk(A.tile_nb(j), A.tile_nb(k))

@@ -52,12 +52,15 @@ void trsm(rt::Engine& eng, Side side, Uplo uplo, Op op, Diag diag, T alpha,
             for (int j = 0; j < nt; ++j) {
                 double const fl = flops::trsm_left(B.tile_mb(k), B.tile_nb(j))
                                   * (fma_flops<T>() / 2.0);
+                // Diagonal-block solves form the critical chain; priority 1
+                // keeps them ahead of the trsm_gemm trailing updates.
                 eng.submit("trsm", fl,
                            {rt::read(a_key(k, k)), rt::readwrite(B.tile_key(k, j))},
                            [=] {
                                blas::trsm(Side::Left, uplo, op, diag, T(1),
                                           a_tile(k, k), B.tile(k, j));
-                           });
+                           },
+                           /*priority=*/1);
             }
         };
         auto update_row = [&](int i, int k) {
@@ -99,7 +102,8 @@ void trsm(rt::Engine& eng, Side side, Uplo uplo, Op op, Diag diag, T alpha,
                            [=] {
                                blas::trsm(Side::Right, uplo, op, diag, T(1),
                                           a_tile(k, k), B.tile(i, k));
-                           });
+                           },
+                           /*priority=*/1);
             }
         };
         auto update_col = [&](int j, int k) {

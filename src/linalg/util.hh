@@ -163,19 +163,27 @@ real_t<T> norm(rt::Engine& eng, Norm which, TiledMatrix<T> A) {
             return v;
         }
         case Norm::Fro: {
-            R total(0);
-            std::mutex mtx;
+            // Per-tile partials summed in a fixed order after the fence:
+            // a shared accumulator would add in task-completion order, whose
+            // rounding varies with the schedule (and the work-stealing
+            // runtime makes completion order genuinely nondeterministic).
+            std::vector<R> partial(
+                static_cast<size_t>(A.mt()) * static_cast<size_t>(A.nt()), R(0));
             for (int j = 0; j < A.nt(); ++j) {
                 for (int i = 0; i < A.mt(); ++i) {
+                    size_t const slot = static_cast<size_t>(j)
+                                            * static_cast<size_t>(A.mt())
+                                        + static_cast<size_t>(i);
                     eng.submit("sum_sq", {rt::read(A.tile_key(i, j))},
-                               [A, i, j, &total, &mtx] {
-                                   R s = blas::sum_sq(A.tile(i, j));
-                                   std::lock_guard<std::mutex> lk(mtx);
-                                   total += s;
+                               [A, i, j, slot, &partial] {
+                                   partial[slot] = blas::sum_sq(A.tile(i, j));
                                });
                 }
             }
             eng.wait();
+            R total(0);
+            for (R s : partial)
+                total += s;
             return std::sqrt(total);
         }
         case Norm::Max: {

@@ -1,0 +1,64 @@
+// Measured scheduler-efficiency report for the task runtime.
+//
+// The modeled figures (cost_model.hh, qdwh_model.hh) charge the fork-join
+// schedule its barrier/idle penalty analytically; this module is the
+// measured counterpart on the host: it combines the recorded DAG statistics
+// (total work, critical path, average parallelism) with the scheduler's own
+// event counters (local pops, steals, cv sleeps) and the per-worker
+// idle/busy split of the actual execution, so benches and the driver can
+// print how close the runtime came to the DAG's available parallelism.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "runtime/engine.hh"
+#include "runtime/trace_analysis.hh"
+
+namespace tbp::perf {
+
+struct SchedReport {
+    rt::DagStats dag;                  ///< schedule-independent DAG stats
+    rt::SchedulerEfficiency sched;     ///< measured steal/idle behaviour
+    rt::Engine::SchedStats counters;   ///< engine event counters
+    int workers = 0;
+
+    /// Executed tasks per second of wall time (scheduler throughput).
+    double tasks_per_sec() const {
+        return sched.makespan > 0
+                   ? static_cast<double>(dag.tasks) / sched.makespan
+                   : 0.0;
+    }
+
+    std::string format() const {
+        std::ostringstream os;
+        os << "scheduler report: " << dag.tasks << " tasks on " << workers
+           << " workers\n"
+           << "  makespan " << sched.makespan << " s, " << tasks_per_sec()
+           << " tasks/s, utilization " << sched.utilization << "\n"
+           << "  DAG: work " << dag.total_work << " s, critical path "
+           << dag.critical_path << " s, avg parallelism "
+           << dag.avg_parallelism << "\n"
+           << "  steals " << counters.steals << " (fraction "
+           << sched.steal_fraction << "), local pops " << counters.local_pops
+           << ", global pops " << counters.global_pops << ", sleeps "
+           << counters.sleeps << "\n"
+           << "  idle " << sched.idle << " worker-seconds, priority tasks "
+           << sched.priority_tasks << "\n";
+        return os.str();
+    }
+};
+
+/// Snapshot a report from an engine whose trace covers the run of interest.
+/// Call after Engine::wait().
+inline SchedReport sched_report(rt::Engine const& eng) {
+    SchedReport r;
+    r.dag = rt::analyze(eng.trace());
+    r.sched = rt::scheduler_efficiency(eng.trace());
+    r.counters = eng.sched_stats();
+    r.workers = eng.num_threads();
+    return r;
+}
+
+}  // namespace tbp::perf

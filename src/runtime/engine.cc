@@ -11,6 +11,7 @@ struct Engine::Task {
     std::function<void()> fn;
     std::string name;
     double flops = 0;
+    int priority = 0;
     std::uint64_t id = 0;
     std::vector<std::uint64_t> dep_ids;
 
@@ -26,7 +27,17 @@ struct Engine::ObjectState {
     std::vector<Task*> readers_since_write;
 };
 
-Engine::Engine(int num_threads, Mode mode) : mode_(mode) {
+// A worker's ready deque. The owner pops LIFO from the back; thieves pop
+// FIFO from the front. Priority > 0 tasks live in their own lane, drained
+// before normal work by owner and thieves alike.
+struct Engine::WorkerQueue {
+    std::mutex mtx;
+    std::deque<Task*> high;
+    std::deque<Task*> low;
+};
+
+Engine::Engine(int num_threads, Mode mode, Sched sched)
+    : mode_(mode), sched_(sched) {
     if (mode_ == Mode::Sequential)
         return;
     int n = num_threads;
@@ -35,6 +46,9 @@ Engine::Engine(int num_threads, Mode mode) : mode_(mode) {
         if (n <= 0)
             n = 2;
     }
+    queues_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        queues_.emplace_back(std::make_unique<WorkerQueue>());
     workers_.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i)
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -48,9 +62,9 @@ Engine::~Engine() {
     } catch (...) {
         // Destructor must not throw; errors were the caller's to collect.
     }
+    shutdown_.store(true);
     {
         std::lock_guard<std::mutex> lk(queue_mtx_);
-        shutdown_ = true;
     }
     queue_cv_.notify_all();
     for (auto& w : workers_)
@@ -58,7 +72,8 @@ Engine::~Engine() {
 }
 
 void Engine::submit(char const* name, double flops,
-                    std::vector<Access> accesses, std::function<void()> fn) {
+                    std::vector<Access> accesses, std::function<void()> fn,
+                    int priority) {
     if (mode_ == Mode::Sequential) {
         double const t0 = wall_time();
         fn();
@@ -68,9 +83,10 @@ void Engine::submit(char const* name, double flops,
             std::lock_guard<std::mutex> lk(stats_mtx_);
             flops_executed_ += flops;
         }
-        if (trace_on_) {
+        if (trace_on_.load(std::memory_order_relaxed)) {
             std::lock_guard<std::mutex> lk(trace_mtx_);
-            trace_.push_back({name, flops, t0, t1, 0, next_id_++, {}});
+            trace_.push_back(
+                {name, flops, t0, t1, 0, next_id_++, {}, priority, false});
         }
         return;
     }
@@ -79,11 +95,18 @@ void Engine::submit(char const* name, double flops,
     t->fn = std::move(fn);
     t->name = name;
     t->flops = flops;
+    t->priority = priority;
     t->id = next_id_++;
 
-    // Derive dependencies superscalar-style from the access list.
+    // Derive dependencies superscalar-style from the access list. A task
+    // can reach the same predecessor through several accesses (e.g. Read
+    // then ReadWrite of one key); count each edge once, both for the
+    // unresolved count and for the traced DAG.
     auto add_dep = [&](Task* pred) {
         if (pred == nullptr || pred == t.get())
+            return;
+        if (std::find(t->dep_ids.begin(), t->dep_ids.end(), pred->id)
+            != t->dep_ids.end())
             return;
         std::lock_guard<std::mutex> lk(pred->mtx);
         if (!pred->done) {
@@ -108,50 +131,204 @@ void Engine::submit(char const* name, double flops,
         }
     }
 
-    {
-        std::lock_guard<std::mutex> lk(queue_mtx_);
-        ++outstanding_;
-    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
 
     Task* raw = t.get();
     all_tasks_.push_back(std::move(t));
 
     // Drop the submission guard; enqueue if all inputs resolved.
     if (raw->unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        make_ready(raw);
+        make_ready(raw, -1);
 }
 
-void Engine::make_ready(Task* t) {
-    {
-        std::lock_guard<std::mutex> lk(queue_mtx_);
-        ready_.push_back(t);
+void Engine::make_ready(Task* t, int src_worker) {
+    if (sched_ == Sched::GlobalQueue) {
+        {
+            std::lock_guard<std::mutex> lk(queue_mtx_);
+            if (t->priority > 0)
+                ready_.push_front(t);
+            else
+                ready_.push_back(t);
+        }
+        queue_cv_.notify_one();
+        return;
     }
-    queue_cv_.notify_one();
+
+    size_t const nq = queues_.size();
+    size_t const qi = (src_worker >= 0) ? static_cast<size_t>(src_worker)
+                                        : (next_queue_++ % nq);
+    WorkerQueue& q = *queues_[qi];
+    {
+        std::lock_guard<std::mutex> lk(q.mtx);
+        (t->priority > 0 ? q.high : q.low).push_back(t);
+    }
+    // Wake someone only if someone is asleep, so the steady state (every
+    // worker busy) pays a single load here and nothing else. No wake is
+    // lost: a worker bumps sleepers_ before its definitive emptiness sweep
+    // (queues_empty(), which locks every q.mtx). If that sweep missed this
+    // push, the sweep's critical section on q.mtx preceded ours, so its
+    // sleepers_ increment happens-before our load below and we notify. The
+    // empty critical section orders the notify against a sleeper that is
+    // between its sweep and the cv wait (it holds queue_mtx_ throughout).
+    if (sleepers_.load() > 0) {
+        {
+            std::lock_guard<std::mutex> lk(queue_mtx_);
+        }
+        queue_cv_.notify_one();
+    }
+}
+
+bool Engine::queues_empty() const {
+    for (auto const& q : queues_) {
+        std::lock_guard<std::mutex> lk(q->mtx);
+        if (!q->high.empty() || !q->low.empty())
+            return false;
+    }
+    return true;
+}
+
+Engine::Task* Engine::pop_local(int worker_id) {
+    WorkerQueue& q = *queues_[static_cast<size_t>(worker_id)];
+    std::lock_guard<std::mutex> lk(q.mtx);
+    Task* t = nullptr;
+    if (!q.high.empty()) {
+        t = q.high.back();
+        q.high.pop_back();
+    } else if (!q.low.empty()) {
+        t = q.low.back();
+        q.low.pop_back();
+    }
+    return t;
+}
+
+Engine::Task* Engine::steal(int thief_id) {
+    size_t const nq = queues_.size();
+    for (size_t k = 1; k < nq; ++k) {
+        WorkerQueue& q = *queues_[(static_cast<size_t>(thief_id) + k) % nq];
+        Task* t = nullptr;
+        std::deque<Task*> high_batch, low_batch;
+        {
+            std::unique_lock<std::mutex> lk(q.mtx, std::try_to_lock);
+            if (!lk.owns_lock())
+                continue;  // victim busy; a notify covers anything it adds
+            if (!q.high.empty()) {
+                t = q.high.front();
+                q.high.pop_front();
+            } else if (!q.low.empty()) {
+                t = q.low.front();
+                q.low.pop_front();
+            }
+            if (!t)
+                continue;
+            // Steal-half: take the older (FIFO) half of the victim's
+            // backlog with us, so fine-grained DAGs do not pay one sweep
+            // per stolen task. Collected locally and re-queued after the
+            // victim's lock is dropped — holding two queue locks at once
+            // could deadlock a cycle of thieves.
+            for (size_t n = q.high.size() / 2; n > 0; --n) {
+                high_batch.push_back(q.high.front());
+                q.high.pop_front();
+            }
+            for (size_t n = q.low.size() / 2; n > 0; --n) {
+                low_batch.push_back(q.low.front());
+                q.low.pop_front();
+            }
+        }
+        if (!high_batch.empty() || !low_batch.empty()) {
+            WorkerQueue& mine = *queues_[static_cast<size_t>(thief_id)];
+            std::lock_guard<std::mutex> lk(mine.mtx);
+            for (Task* b : high_batch)
+                mine.high.push_back(b);
+            for (Task* b : low_batch)
+                mine.low.push_back(b);
+        }
+        return t;
+    }
+    return nullptr;
 }
 
 void Engine::worker_loop(int worker_id) {
-    for (;;) {
-        Task* t = nullptr;
-        {
-            std::unique_lock<std::mutex> lk(queue_mtx_);
-            queue_cv_.wait(lk, [&] { return shutdown_ || !ready_.empty(); });
-            if (shutdown_ && ready_.empty())
-                return;
-            t = ready_.front();
-            ready_.pop_front();
+    if (sched_ == Sched::GlobalQueue) {
+        for (;;) {
+            Task* t = nullptr;
+            {
+                std::unique_lock<std::mutex> lk(queue_mtx_);
+                if (ready_.empty()) {
+                    sleeps_.fetch_add(1, std::memory_order_relaxed);
+                    queue_cv_.wait(lk, [&] {
+                        return shutdown_.load(std::memory_order_relaxed)
+                               || !ready_.empty();
+                    });
+                }
+                if (ready_.empty())
+                    return;  // shutdown with no work left
+                t = ready_.front();
+                ready_.pop_front();
+            }
+            global_pops_.fetch_add(1, std::memory_order_relaxed);
+            run_task(t, worker_id, false);
         }
-        run_task(t, worker_id);
+    }
+
+    for (;;) {
+        Task* t = pop_local(worker_id);
+        bool stolen = false;
+        if (!t) {
+            t = steal(worker_id);
+            stolen = (t != nullptr);
+        }
+        if (!t) {
+            std::unique_lock<std::mutex> lk(queue_mtx_);
+            // Publish intent to sleep BEFORE the definitive emptiness sweep:
+            // make_ready pushes and then reads sleepers_, and the sweep
+            // locks every queue mutex, so at least one side observes the
+            // other and the wake cannot be lost (see make_ready).
+            sleepers_.fetch_add(1);
+            bool slept = false;
+            if (queues_empty()) {
+                if (shutdown_.load(std::memory_order_relaxed)) {
+                    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+                    return;
+                }
+                sleeps_.fetch_add(1, std::memory_order_relaxed);
+                queue_cv_.wait(lk, [&] {
+                    return shutdown_.load(std::memory_order_relaxed)
+                           || !queues_empty();
+                });
+                slept = true;
+            }
+            sleepers_.fetch_sub(1, std::memory_order_relaxed);
+            if (shutdown_.load(std::memory_order_relaxed) && queues_empty())
+                return;
+            if (!slept) {
+                // The steal sweep's try_lock missed a busy victim; give that
+                // thread the core before sweeping again.
+                lk.unlock();
+                std::this_thread::yield();
+            }
+            continue;  // retry pop/steal
+        }
+        (stolen ? steals_ : local_pops_).fetch_add(1, std::memory_order_relaxed);
+        run_task(t, worker_id, stolen);
     }
 }
 
-void Engine::run_task(Task* t, int worker_id) {
+void Engine::run_task(Task* t, int worker_id, bool stolen) {
     double const t0 = wall_time();
-    try {
-        t->fn();
-    } catch (...) {
-        std::lock_guard<std::mutex> lk(error_mtx_);
-        if (!first_error_)
-            first_error_ = std::current_exception();
+    // Once an error is latched, drain the DAG without executing bodies:
+    // the task still retires and releases successors so wait() terminates,
+    // but nothing computes on poisoned data.
+    if (!error_latched_.load(std::memory_order_acquire)) {
+        try {
+            t->fn();
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lk(error_mtx_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+            error_latched_.store(true, std::memory_order_release);
+        }
     }
     double const t1 = wall_time();
 
@@ -160,9 +337,10 @@ void Engine::run_task(Task* t, int worker_id) {
         std::lock_guard<std::mutex> lk(stats_mtx_);
         flops_executed_ += t->flops;
     }
-    if (trace_on_) {
+    if (trace_on_.load(std::memory_order_relaxed)) {
         std::lock_guard<std::mutex> lk(trace_mtx_);
-        trace_.push_back({t->name, t->flops, t0, t1, worker_id, t->id, t->dep_ids});
+        trace_.push_back({t->name, t->flops, t0, t1, worker_id, t->id,
+                          t->dep_ids, t->priority, stolen});
     }
 
     std::vector<Task*> succ;
@@ -173,21 +351,23 @@ void Engine::run_task(Task* t, int worker_id) {
     }
     for (Task* s : succ) {
         if (s->unresolved.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            make_ready(s);
+            make_ready(s, worker_id);
     }
 
-    {
-        std::lock_guard<std::mutex> lk(queue_mtx_);
-        --outstanding_;
-        if (outstanding_ == 0)
-            idle_cv_.notify_all();
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        {
+            std::lock_guard<std::mutex> lk(queue_mtx_);
+        }
+        idle_cv_.notify_all();
     }
 }
 
 void Engine::wait() {
     if (mode_ != Mode::Sequential) {
         std::unique_lock<std::mutex> lk(queue_mtx_);
-        idle_cv_.wait(lk, [&] { return outstanding_ == 0; });
+        idle_cv_.wait(lk, [&] {
+            return outstanding_.load(std::memory_order_relaxed) == 0;
+        });
     }
     // Fresh dependency epoch; tasks are retired.
     objects_.clear();
@@ -196,6 +376,7 @@ void Engine::wait() {
     {
         std::lock_guard<std::mutex> lk(error_mtx_);
         std::swap(err, first_error_);
+        error_latched_.store(false, std::memory_order_relaxed);
     }
     if (err)
         std::rethrow_exception(err);
@@ -207,17 +388,32 @@ void Engine::op_fence() {
 }
 
 double Engine::flops_executed() const {
-    std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(stats_mtx_));
+    std::lock_guard<std::mutex> lk(stats_mtx_);
     return flops_executed_;
+}
+
+Engine::SchedStats Engine::sched_stats() const {
+    SchedStats s;
+    s.local_pops = local_pops_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.global_pops = global_pops_.load(std::memory_order_relaxed);
+    s.sleeps = sleeps_.load(std::memory_order_relaxed);
+    return s;
 }
 
 void Engine::reset_stats() {
     tasks_executed_.store(0);
+    local_pops_.store(0);
+    steals_.store(0);
+    global_pops_.store(0);
+    sleeps_.store(0);
     std::lock_guard<std::mutex> lk(stats_mtx_);
     flops_executed_ = 0;
 }
 
-void Engine::set_trace(bool on) { trace_on_ = on; }
+void Engine::set_trace(bool on) {
+    trace_on_.store(on, std::memory_order_relaxed);
+}
 
 void Engine::clear_trace() {
     std::lock_guard<std::mutex> lk(trace_mtx_);

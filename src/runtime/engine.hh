@@ -1,4 +1,4 @@
-// Superscalar dataflow task engine.
+// Superscalar dataflow task engine with a work-stealing scheduler.
 //
 // This is TBP's stand-in for SLATE's "OpenMP tasks to track data
 // dependencies" (paper abstract): the algorithm layer submits tasks in
@@ -17,9 +17,43 @@
 //                 ScaLAPACK/POLAR that Section 3 identifies as the
 //                 state-of-the-art's bottleneck.
 //
+// Scheduler (Sched):
+//   WorkStealing (default) - one ready deque per worker. A worker pops its
+//     own deque LIFO (newest first, for cache locality with the task that
+//     just produced the data); an idle worker sweeps the other workers'
+//     deques and steals FIFO (oldest first, the task least likely to be hot
+//     in the victim's cache), taking half of the victim's backlog with it
+//     so fine-grained DAGs amortize the sweep over many tasks. Only when a
+//     local pop and a full steal sweep both fail does the worker sleep on a
+//     condition variable; a push wakes a worker only if one is actually
+//     asleep (sleeper-count gate), so the steady state where every worker
+//     is busy pays no wake-up traffic. Tasks released by a running task are
+//     pushed to that worker's own deque; tasks submitted by the driver
+//     thread are distributed round-robin.
+//   GlobalQueue - the pre-work-stealing scheduler: a single mutex-guarded
+//     FIFO shared by all workers. Kept selectable so bench_scheduler can
+//     measure what the decentralized queues buy at fine task granularity.
+//
+// Priority: submit() takes an optional integer priority (default 0). Each
+// deque keeps priority > 0 tasks in a separate high-priority lane that is
+// always popped (and stolen) before priority-0 work. The algorithm layer
+// marks critical-path tasks — panel factorizations (geqrt, tsqrt, potrf)
+// and triangular panel solves — mirroring SLATE's `omp priority` hint on
+// panel tasks, so trailing-matrix updates cannot starve the panel chain.
+// Priorities are a scheduling hint only; dependency order always wins.
+//
+// Error propagation contract: the first exception thrown by any task is
+// latched and rethrown by the next wait(). Once an error is latched, the
+// bodies of subsequently dequeued tasks are skipped (the tasks still retire
+// and release their successors, so wait() terminates and the dependency
+// epoch stays consistent) — the DAG drains quickly instead of computing an
+// entire epoch on poisoned data. wait() clears the latch; the engine is
+// reusable afterwards.
+//
 // The engine can also record a trace (task names, flop counts, dependency
-// edges, start/end times, worker ids) consumed by the performance-model
-// replay in src/perf/.
+// edges, start/end times, worker ids, priorities, whether the task was
+// stolen) consumed by the performance-model replay in src/perf/ and the
+// scheduler-efficiency reports in trace_analysis.hh.
 
 #pragma once
 
@@ -38,6 +72,9 @@
 namespace tbp::rt {
 
 enum class Mode { Sequential, TaskDataflow, ForkJoin };
+
+/// Ready-queue organization of the worker pool.
+enum class Sched { GlobalQueue, WorkStealing };
 
 enum class AccessMode { Read, Write, ReadWrite };
 
@@ -59,34 +96,48 @@ struct TaskRecord {
     double t_end = 0;
     int worker = -1;
     std::uint64_t id = 0;
-    std::vector<std::uint64_t> deps;  // ids of predecessor tasks
+    std::vector<std::uint64_t> deps;  // ids of predecessor tasks (deduped)
+    int priority = 0;
+    bool stolen = false;  // executed by a worker that stole it from a victim
 };
 
 class Engine {
 public:
+    /// Scheduler event counters since construction / reset_stats().
+    struct SchedStats {
+        std::uint64_t local_pops = 0;   ///< tasks popped from the owner deque
+        std::uint64_t steals = 0;       ///< tasks stolen from a victim deque
+        std::uint64_t global_pops = 0;  ///< GlobalQueue-mode dequeues
+        std::uint64_t sleeps = 0;       ///< times a worker blocked on the cv
+    };
+
     /// num_threads <= 0 picks std::thread::hardware_concurrency().
-    explicit Engine(int num_threads = 0, Mode mode = Mode::TaskDataflow);
+    explicit Engine(int num_threads = 0, Mode mode = Mode::TaskDataflow,
+                    Sched sched = Sched::WorkStealing);
     ~Engine();
 
     Engine(Engine const&) = delete;
     Engine& operator=(Engine const&) = delete;
 
     Mode mode() const { return mode_; }
+    Sched sched() const { return sched_; }
     int num_threads() const { return static_cast<int>(workers_.size()); }
 
     /// Submit a task. Must be called from a single submitter thread (the
-    /// algorithm driver), as with OpenMP task regions.
+    /// algorithm driver), as with OpenMP task regions. priority > 0 marks a
+    /// critical-path task scheduled ahead of priority-0 work (see header).
     void submit(char const* name, double flops, std::vector<Access> accesses,
-                std::function<void()> fn);
+                std::function<void()> fn, int priority = 0);
 
     /// Convenience overload without cost metadata.
     void submit(char const* name, std::vector<Access> accesses,
-                std::function<void()> fn) {
-        submit(name, 0.0, std::move(accesses), std::move(fn));
+                std::function<void()> fn, int priority = 0) {
+        submit(name, 0.0, std::move(accesses), std::move(fn), priority);
     }
 
     /// Wait for every submitted task to finish. Rethrows the first exception
-    /// thrown by any task. Clears the dependency table (a fresh epoch).
+    /// thrown by any task (and clears the error latch). Clears the
+    /// dependency table (a fresh epoch).
     void wait();
 
     /// Barrier inserted by the algorithm layer between high-level operations.
@@ -97,11 +148,12 @@ public:
     // --- statistics -------------------------------------------------------
     std::uint64_t tasks_executed() const { return tasks_executed_.load(); }
     double flops_executed() const;
+    SchedStats sched_stats() const;
     void reset_stats();
 
     // --- tracing ----------------------------------------------------------
     void set_trace(bool on);
-    bool tracing() const { return trace_on_; }
+    bool tracing() const { return trace_on_.load(std::memory_order_relaxed); }
     /// Trace of the tasks executed since set_trace(true). Call after wait().
     std::vector<TaskRecord> const& trace() const { return trace_; }
     void clear_trace();
@@ -109,20 +161,40 @@ public:
 private:
     struct Task;
     struct ObjectState;
+    struct WorkerQueue;
 
     void worker_loop(int worker_id);
-    void run_task(Task* t, int worker_id);
-    void make_ready(Task* t);
+    void run_task(Task* t, int worker_id, bool stolen);
+    /// src_worker >= 0: released by that worker (push to its own deque);
+    /// src_worker < 0: submitted by the driver (round-robin).
+    void make_ready(Task* t, int src_worker);
+    Task* pop_local(int worker_id);
+    Task* steal(int thief_id);
+    /// Definitive emptiness check: locks every worker deque in turn. Only
+    /// used on the (rare) sleep path, keeping the push/pop hot paths free
+    /// of any shared ready counter.
+    bool queues_empty() const;
 
     Mode mode_;
+    Sched sched_;
     std::vector<std::thread> workers_;
 
+    // Sleep/wake and GlobalQueue state. queue_mtx_ guards ready_ (GlobalQueue
+    // mode only) and brackets every notify so cv waiters cannot miss a wake.
     std::mutex queue_mtx_;
     std::condition_variable queue_cv_;
     std::condition_variable idle_cv_;
-    std::deque<Task*> ready_;
-    bool shutdown_ = false;
-    std::uint64_t outstanding_ = 0;  // guarded by queue_mtx_
+    std::deque<Task*> ready_;  // GlobalQueue mode; high priority at the front
+    std::atomic<bool> shutdown_{false};
+    std::atomic<std::uint64_t> outstanding_{0};
+
+    // WorkStealing state: one deque pair per worker. sleepers_ gates the
+    // notify in make_ready (paired with the sleeper's lock-sweep of every
+    // deque, see queues_empty()) so a push with every worker busy skips the
+    // wake entirely.
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::atomic<int> sleepers_{0};
+    std::uint64_t next_queue_ = 0;  // round-robin cursor; driver thread only
 
     // Dependency bookkeeping; touched only by the submitter thread.
     std::unordered_map<void const*, ObjectState> objects_;
@@ -130,15 +202,20 @@ private:
     std::uint64_t next_id_ = 0;
 
     std::atomic<std::uint64_t> tasks_executed_{0};
-    std::mutex stats_mtx_;
+    std::atomic<std::uint64_t> local_pops_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> global_pops_{0};
+    std::atomic<std::uint64_t> sleeps_{0};
+    mutable std::mutex stats_mtx_;
     double flops_executed_ = 0;  // guarded by stats_mtx_
 
-    bool trace_on_ = false;
+    std::atomic<bool> trace_on_{false};
     std::mutex trace_mtx_;
     std::vector<TaskRecord> trace_;
 
     std::mutex error_mtx_;
-    std::exception_ptr first_error_;
+    std::exception_ptr first_error_;          // guarded by error_mtx_
+    std::atomic<bool> error_latched_{false};  // fast-path flag for workers
 };
 
 }  // namespace tbp::rt

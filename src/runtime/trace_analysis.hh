@@ -112,6 +112,46 @@ inline WorkerUtilization worker_utilization(std::vector<TaskRecord> const& trace
     return u;
 }
 
+/// Scheduler-efficiency view of an executed trace: how the work-stealing
+/// runtime behaved, reported alongside the schedule-independent DagStats.
+/// `stolen_tasks` counts tasks run by a worker that took them from another
+/// worker's deque; `idle` is the worker-seconds the pool spent not running
+/// task bodies (scheduling overhead + genuine dependency stalls).
+struct SchedulerEfficiency {
+    std::uint64_t tasks = 0;
+    std::uint64_t stolen_tasks = 0;
+    std::uint64_t priority_tasks = 0;  ///< tasks submitted with priority > 0
+    double steal_fraction = 0;         ///< stolen_tasks / tasks
+    double makespan = 0;               ///< wall span of the execution
+    double busy = 0;                   ///< sum of task durations
+    double idle = 0;                   ///< workers * makespan - busy
+    double utilization = 0;            ///< busy / (workers * makespan)
+};
+
+inline SchedulerEfficiency scheduler_efficiency(
+    std::vector<TaskRecord> const& trace) {
+    SchedulerEfficiency e;
+    e.tasks = trace.size();
+    if (trace.empty())
+        return e;
+    for (auto const& r : trace) {
+        if (r.stolen)
+            ++e.stolen_tasks;
+        if (r.priority > 0)
+            ++e.priority_tasks;
+    }
+    e.steal_fraction =
+        static_cast<double>(e.stolen_tasks) / static_cast<double>(e.tasks);
+    auto const u = worker_utilization(trace);
+    e.makespan = u.makespan;
+    for (double b : u.busy)
+        e.busy += b;
+    double const capacity = u.makespan * static_cast<double>(u.busy.size());
+    e.idle = std::max(0.0, capacity - e.busy);
+    e.utilization = u.utilization;
+    return e;
+}
+
 /// Replay the recorded DAG with list scheduling on `workers` workers.
 /// `time_of` maps a task record to its modeled duration; defaults to the
 /// measured duration. Returns the modeled makespan.

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/flops.hh"
 #include "perf/qdwh_model.hh"
+#include "perf/sched_report.hh"
 
 using namespace tbp::perf;
 
@@ -189,4 +192,30 @@ TEST(PerfModel, TileOptimaMatchPaperTuning) {
     };
     EXPECT_EQ(best_nb(Device::Gpu, 60000), 320);
     EXPECT_EQ(best_nb(Device::Cpu, 20000), 192);
+}
+
+TEST(SchedReport, MeasuredSchedulerEfficiency) {
+    // The measured counterpart to the modeled schedules: run a real DAG and
+    // check the report's invariants (accounting, utilization bounds).
+    tbp::rt::Engine eng(3);
+    eng.set_trace(true);
+    long x = 0;
+    std::vector<long> ys(64, 0);
+    for (int i = 0; i < 8; ++i)
+        eng.submit("chain", 1.0, {tbp::rt::readwrite(&x)}, [&x] { ++x; },
+                   /*priority=*/1);
+    for (size_t i = 0; i < ys.size(); ++i)
+        eng.submit("fan", 1.0, {tbp::rt::read(&x), tbp::rt::write(&ys[i])},
+                   [&ys, &x, i] { ys[i] = x; });
+    eng.wait();
+    auto const r = sched_report(eng);
+    EXPECT_EQ(r.dag.tasks, 72u);
+    EXPECT_EQ(r.workers, 3);
+    EXPECT_EQ(r.counters.local_pops + r.counters.steals, 72u);
+    EXPECT_EQ(r.sched.priority_tasks, 8u);
+    EXPECT_GT(r.tasks_per_sec(), 0.0);
+    EXPECT_GT(r.sched.utilization, 0.0);
+    EXPECT_LE(r.sched.utilization, 1.0 + 1e-9);
+    EXPECT_GE(r.sched.idle, 0.0);
+    EXPECT_FALSE(r.format().empty());
 }

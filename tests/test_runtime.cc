@@ -184,3 +184,48 @@ TEST(Runtime, ManyThreadsManyTasks) {
     eng.wait();
     EXPECT_EQ(sum.load(), 5000);
 }
+
+TEST(Runtime, GlobalQueueModeKeepsDependencySemantics) {
+    // The legacy single-queue scheduler stays selectable (bench baseline)
+    // and must honor the same dataflow ordering.
+    rt::Engine eng(4, rt::Mode::TaskDataflow, rt::Sched::GlobalQueue);
+    long sum = 0;
+    for (int i = 1; i <= 1000; ++i)
+        eng.submit("acc", {rt::readwrite(&sum)}, [&sum, i] { sum += i; });
+    eng.wait();
+    EXPECT_EQ(sum, 500500);
+    EXPECT_EQ(eng.sched_stats().global_pops, 1000u);
+}
+
+TEST(Runtime, TraceRecordsPriorityAndWorker) {
+    rt::Engine eng(2);
+    eng.set_trace(true);
+    int x = 0;
+    eng.submit("panel", 1.0, {rt::write(&x)}, [&] { x = 1; }, /*priority=*/1);
+    eng.submit("update", 1.0, {rt::readwrite(&x)}, [&] { ++x; });
+    eng.wait();
+    auto const& tr = eng.trace();
+    ASSERT_EQ(tr.size(), 2u);
+    auto const& panel = (tr[0].name == "panel") ? tr[0] : tr[1];
+    auto const& update = (tr[0].name == "update") ? tr[0] : tr[1];
+    EXPECT_EQ(panel.priority, 1);
+    EXPECT_EQ(update.priority, 0);
+    EXPECT_GE(panel.worker, 0);
+    EXPECT_LT(panel.worker, eng.num_threads());
+}
+
+TEST(Runtime, DuplicateAccessesSingleEdge) {
+    // The same key listed twice must not double-count the dependency edge.
+    rt::Engine eng(2);
+    eng.set_trace(true);
+    int x = 0;
+    eng.submit("w", {rt::write(&x)}, [&] { x = 3; });
+    eng.submit("dup", {rt::read(&x), rt::read(&x), rt::readwrite(&x)},
+               [&] { ++x; });
+    eng.wait();
+    EXPECT_EQ(x, 4);
+    auto const& tr = eng.trace();
+    ASSERT_EQ(tr.size(), 2u);
+    auto const& dup = (tr[0].name == "dup") ? tr[0] : tr[1];
+    EXPECT_EQ(dup.deps.size(), 1u);
+}

@@ -7,7 +7,8 @@
 //              [--m M] [--n N] [--nb NB] [--cond KAPPA]
 //              [--dist geom|arith|cluster|loguni]
 //              [--type s|d|c|z] [--mode task|forkjoin|seq]
-//              [--threads T] [--seed S] [--r R] [--verbose]
+//              [--sched steal|global] [--threads T] [--seed S] [--r R]
+//              [--verbose]
 //
 // Examples:
 //   tbp_driver --algo qdwh --n 512 --cond 1e16
@@ -42,6 +43,7 @@ struct Args {
     gen::SigmaDist dist = gen::SigmaDist::Geometric;
     char type = 'd';
     rt::Mode mode = rt::Mode::TaskDataflow;
+    rt::Sched sched = rt::Sched::WorkStealing;
     int threads = 3;
     std::uint64_t seed = 42;
     int r = 8;
@@ -55,8 +57,8 @@ struct Args {
                  "          [--nb NB] [--cond K] [--dist geom|arith|cluster|"
                  "loguni]\n"
                  "          [--type s|d|c|z] [--mode task|forkjoin|seq] "
-                 "[--threads T]\n"
-                 "          [--seed S] [--r R] [--verbose]\n",
+                 "[--sched steal|global]\n"
+                 "          [--threads T] [--seed S] [--r R] [--verbose]\n",
                  argv0);
     std::exit(2);
 }
@@ -94,6 +96,10 @@ Args parse(int argc, char** argv) {
             a.mode = m == "forkjoin" ? rt::Mode::ForkJoin
                      : m == "seq"    ? rt::Mode::Sequential
                                      : rt::Mode::TaskDataflow;
+        } else if (!std::strcmp(argv[i], "--sched")) {
+            std::string sc = need("--sched");
+            a.sched = sc == "global" ? rt::Sched::GlobalQueue
+                                     : rt::Sched::WorkStealing;
         } else if (!std::strcmp(argv[i], "--threads")) {
             a.threads = std::atoi(need("--threads"));
         } else if (!std::strcmp(argv[i], "--seed")) {
@@ -118,7 +124,7 @@ Args parse(int argc, char** argv) {
 
 template <typename T>
 int run_tiled(Args const& a) {
-    rt::Engine eng(a.threads, a.mode);
+    rt::Engine eng(a.threads, a.mode, a.sched);
     gen::MatGenOptions opt;
     opt.cond = a.cond;
     opt.dist = a.dist;
