@@ -1,0 +1,218 @@
+// Micro-kernel GEMM benchmark: measured GFLOP/s of the packed
+// register-blocked kernel layer (blas/kernel/) against the naive reference
+// loops, swept over tile sizes and all four scalar types. This is the
+// acceptance harness for the kernel layer — the speedup it prints at
+// nb=256 double is the number quoted in the PR description — and doubles as
+// a retuning tool after any change to Params<T> (see kernel/params.hh).
+//
+// Usage:
+//   bench_gemm_kernel                 full sweep, console table +
+//                                     BENCH_gemm_kernel.json
+//   bench_gemm_kernel --json PATH     write the JSON document to PATH
+//   bench_gemm_kernel --smoke         fast ctest mode: one mid-size double
+//                                     tile, asserts the micro path is no
+//                                     slower than naive and bit-level sane
+//
+// TBP_SIZES="64,128" overrides the sweep sizes.
+
+#include <algorithm>
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "blas/gemm.hh"
+#include "common/aligned.hh"
+#include "common/timer.hh"
+
+using namespace tbp;
+
+namespace {
+
+char const* type_name(float) { return "s"; }
+char const* type_name(double) { return "d"; }
+char const* type_name(std::complex<float>) { return "c"; }
+char const* type_name(std::complex<double>) { return "z"; }
+
+/// Deterministic fill in [-0.5, 0.5) — xorshift, no <random> setup cost.
+template <typename T>
+void fill(aligned_vector<T>& v, std::uint64_t seed) {
+    std::uint64_t s = seed * 2654435761u + 1;
+    auto next = [&]() -> double {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return static_cast<double>(s % 100000) / 100000.0 - 0.5;
+    };
+    for (auto& x : v) {
+        if constexpr (is_complex_v<T>)
+            x = T(static_cast<real_t<T>>(next()),
+                  static_cast<real_t<T>>(next()));
+        else
+            x = static_cast<T>(next());
+    }
+}
+
+struct PathResult {
+    double gflops = 0;
+    double seconds = 0;
+    int reps = 0;
+};
+
+/// Time C := alpha A B + beta C at n^3 volume; kernel selected by `micro`.
+template <typename T>
+PathResult time_path(bool micro, int n, Tile<T> const& A, Tile<T> const& B,
+                     aligned_vector<T> const& c0, Tile<T> const& C) {
+    T const alpha = T(1) + T(1) / T(8);
+    T const beta = T(1) / T(2);
+    double const fl =
+        flops::gemm(n, n, n) * (fma_flops<T>() / 2.0);
+
+    auto run = [&] {
+        std::copy(c0.begin(), c0.end(), C.data());
+        if (micro)
+            blas::kernel::gemm(Op::NoTrans, Op::NoTrans, alpha, A, B, beta, C);
+        else
+            blas::gemm_naive(Op::NoTrans, Op::NoTrans, alpha, A, B, beta, C);
+    };
+
+    run();  // warm-up (and arena growth for the micro path)
+    Timer t1;
+    run();
+    double const once = std::max(t1.elapsed(), 1e-7);
+    int const reps = std::max(3, static_cast<int>(0.12 / once));
+
+    Timer t;
+    for (int r = 0; r < reps; ++r)
+        run();
+    double const secs = t.elapsed() / reps;
+
+    PathResult res;
+    res.seconds = secs;
+    res.gflops = fl / secs / 1e9;
+    res.reps = reps;
+    return res;
+}
+
+/// Max |micro - naive| relative to the result magnitude.
+template <typename T>
+double path_diff(int n, Tile<T> const& A, Tile<T> const& B,
+                 aligned_vector<T> const& c0, Tile<T> const& C,
+                 aligned_vector<T>& scratch) {
+    T const alpha = T(1) + T(1) / T(8);
+    T const beta = T(1) / T(2);
+    std::copy(c0.begin(), c0.end(), C.data());
+    blas::gemm_naive(Op::NoTrans, Op::NoTrans, alpha, A, B, beta, C);
+    std::copy(C.data(), C.data() + scratch.size(), scratch.begin());
+    std::copy(c0.begin(), c0.end(), C.data());
+    blas::kernel::gemm(Op::NoTrans, Op::NoTrans, alpha, A, B, beta, C);
+    double dmax = 0, vmax = 0;
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+        dmax = std::max(dmax, static_cast<double>(std::abs(C.data()[i] - scratch[i])));
+        vmax = std::max(vmax, static_cast<double>(std::abs(scratch[i])));
+    }
+    return vmax > 0 ? dmax / vmax : dmax;
+}
+
+template <typename T>
+void run_type(std::vector<std::int64_t> const& sizes,
+              bench::JsonEmitter& out) {
+    for (std::int64_t n64 : sizes) {
+        int const n = static_cast<int>(n64);
+        aligned_vector<T> a(static_cast<std::size_t>(n) * n);
+        aligned_vector<T> b(a.size()), c0(a.size()), c(a.size()),
+            scratch(a.size());
+        fill(a, 11 + n);
+        fill(b, 22 + n);
+        fill(c0, 33 + n);
+        Tile<T> A(a.data(), n, n, n), B(b.data(), n, n, n),
+            C(c.data(), n, n, n);
+
+        auto naive = time_path<T>(false, n, A, B, c0, C);
+        auto micro = time_path<T>(true, n, A, B, c0, C);
+        double const diff = path_diff<T>(n, A, B, c0, C, scratch);
+        double const speedup = naive.gflops > 0
+                                   ? micro.gflops / naive.gflops
+                                   : 0.0;
+
+        std::printf("  %s n=%4d  naive %7.2f GF/s  micro %7.2f GF/s  "
+                    "speedup %5.2fx  maxdiff %.2e\n",
+                    type_name(T{}), n, naive.gflops, micro.gflops, speedup,
+                    diff);
+
+        bench::JsonRecord r;
+        r.field("op", "gemm")
+            .field("type", type_name(T{}))
+            .field("m", n)
+            .field("n", n)
+            .field("k", n)
+            .field("naive_gflops", naive.gflops)
+            .field("micro_gflops", micro.gflops)
+            .field("speedup", speedup)
+            .field("maxdiff_rel", diff);
+        out.add(r);
+    }
+}
+
+int run_smoke() {
+    // Mid-size double tile: the micro path must beat the naive loops and
+    // agree numerically. Kept fast (~1 s) so it can run inside ctest.
+    int const n = 192;
+    aligned_vector<double> a(static_cast<std::size_t>(n) * n);
+    aligned_vector<double> b(a.size()), c0(a.size()), c(a.size()),
+        scratch(a.size());
+    fill(a, 101);
+    fill(b, 202);
+    fill(c0, 303);
+    Tile<double> A(a.data(), n, n, n), B(b.data(), n, n, n),
+        C(c.data(), n, n, n);
+
+    auto naive = time_path<double>(false, n, A, B, c0, C);
+    auto micro = time_path<double>(true, n, A, B, c0, C);
+    double const diff = path_diff<double>(n, A, B, c0, C, scratch);
+    double const speedup = micro.gflops / naive.gflops;
+
+    std::printf("smoke: d n=%d naive %.2f GF/s micro %.2f GF/s speedup "
+                "%.2fx maxdiff %.2e\n",
+                n, naive.gflops, micro.gflops, speedup, diff);
+    bool const ok = speedup >= 1.05 && diff < 1e-12;
+    std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path = "BENCH_gemm_kernel.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke")) {
+            smoke = true;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    if (smoke)
+        return run_smoke();
+
+    auto const sizes = bench::bench_sizes({64, 96, 128, 192, 256});
+    bench::JsonEmitter out;
+
+    bench::header("bench_gemm_kernel",
+                  "packed micro-kernel vs naive tile GEMM");
+    run_type<float>(sizes, out);
+    run_type<double>(sizes, out);
+    run_type<std::complex<float>>(sizes, out);
+    run_type<std::complex<double>>(sizes, out);
+
+    if (out.write(json_path))
+        std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -2,9 +2,17 @@
 // host CPU: QDWH under the three execution modes, its building blocks, and
 // the dense baselines. This is the measured-hardware supplement to the
 // modeled figures (see DESIGN.md experiment index).
+//
+// BM_Qdwh additionally reports the tile kernels' *measured* GFLOP/s (the
+// kernel/stats.hh counter over the solver region) next to the model-formula
+// rate, and every run appends a JSON record; set TBP_BENCH_JSON=path to
+// write the document on exit (see bench_util.hh).
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+#include "blas/kernel/stats.hh"
+#include "common/timer.hh"
 #include "core/baselines.hh"
 #include "core/qdwh.hh"
 #include "gen/matgen.hh"
@@ -15,6 +23,11 @@
 using namespace tbp;
 
 namespace {
+
+bench::JsonEmitter& emitter() {
+    static bench::JsonEmitter e;
+    return e;
+}
 
 int threads() {
     if (char const* env = std::getenv("TBP_THREADS"))
@@ -49,18 +62,36 @@ void BM_Qdwh(benchmark::State& state) {
     auto A0 = gen::cond_matrix<double>(eng, n, n, nb, opt);
 
     double flops = 0;
+    double kernel_flops = 0, solve_secs = 0;
     for (auto _ : state) {
         state.PauseTiming();
         auto A = A0.clone();
         TiledMatrix<double> H(n, n, nb);
         state.ResumeTiming();
+        double const kf0 = blas::kernel::flops_performed();
+        Timer t;
         auto info = qdwh(eng, A, H);
+        solve_secs += t.elapsed();
+        kernel_flops += blas::kernel::flops_performed() - kf0;
         flops = info.flops;
     }
     state.counters["Gflop/s"] = benchmark::Counter(
         flops * static_cast<double>(state.iterations()) / 1e9,
         benchmark::Counter::kIsRate);
+    double const achieved =
+        solve_secs > 0 ? kernel_flops / solve_secs / 1e9 : 0.0;
+    state.counters["kernel_Gflop/s"] = achieved;
     state.SetLabel(mode_name(static_cast<int>(state.range(1))));
+
+    bench::JsonRecord r;
+    r.field("bench", "qdwh")
+        .field("n", static_cast<std::int64_t>(n))
+        .field("mode", mode_name(static_cast<int>(state.range(1))))
+        .field("model_flops", flops)
+        .field("kernel_flops", kernel_flops)
+        .field("solve_seconds", solve_secs)
+        .field("achieved_gflops", achieved);
+    emitter().add(r);
 }
 
 void BM_Geqrf(benchmark::State& state) {
@@ -132,4 +163,14 @@ BENCHMARK(BM_Potrf)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NewtonPolar)->Arg(128)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SvdPolar)->Arg(128)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (char const* path = std::getenv("TBP_BENCH_JSON"))
+        if (!emitter().empty())
+            emitter().write(path);
+    return 0;
+}

@@ -10,6 +10,8 @@
 //   BM_GeqrfFineTiles      - the real tile QR driver on tiny tiles
 //
 // Run: bench_scheduler [--benchmark_filter=...]; TBP_THREADS sets pool size.
+// Set TBP_BENCH_JSON=path to also write the measurements as a JSON document
+// (shared emitter in bench_util.hh, same format as bench_gemm_kernel).
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hh"
+#include "common/timer.hh"
 #include "gen/matgen.hh"
 #include "linalg/geqrf.hh"
 #include "perf/sched_report.hh"
@@ -25,6 +29,11 @@
 using namespace tbp;
 
 namespace {
+
+bench::JsonEmitter& emitter() {
+    static bench::JsonEmitter e;
+    return e;
+}
 
 // Pool size: TBP_THREADS if set, else one worker per hardware thread (the
 // production configuration). Oversubscribing a small machine measures OS
@@ -90,15 +99,29 @@ void BM_SynthQdwhIteration(benchmark::State& state) {
     rt::Engine eng(threads(), rt::Mode::TaskDataflow, sched_of(s));
     std::vector<double> tiles(static_cast<size_t>(nt) * nt, 0.0);
     std::uint64_t n_tasks = 0;
+    Timer t;
     for (auto _ : state) {
         n_tasks += submit_qdwh_shaped(eng, tiles, nt, /*sweeps=*/3);
         eng.wait();
     }
+    double const secs = t.elapsed();
     state.SetItemsProcessed(static_cast<std::int64_t>(n_tasks));
     auto const st = eng.sched_stats();
     state.counters["steals"] = static_cast<double>(st.steals);
     state.counters["sleeps"] = static_cast<double>(st.sleeps);
     state.SetLabel(sched_name(s));
+
+    bench::JsonRecord r;
+    r.field("bench", "synth_qdwh_iteration")
+        .field("sched", sched_name(s))
+        .field("nt", nt)
+        .field("tasks", n_tasks)
+        .field("seconds", secs)
+        .field("tasks_per_sec",
+               secs > 0 ? static_cast<double>(n_tasks) / secs : 0.0)
+        .field("steals", st.steals)
+        .field("sleeps", st.sleeps);
+    emitter().add(r);
 }
 
 void BM_GeqrfFineTiles(benchmark::State& state) {
@@ -127,6 +150,14 @@ void BM_GeqrfFineTiles(benchmark::State& state) {
     auto const st = eng.sched_stats();
     state.counters["steals"] = static_cast<double>(st.steals);
     state.SetLabel(sched_name(s));
+
+    bench::JsonRecord r;
+    r.field("bench", "geqrf_fine_tiles")
+        .field("sched", sched_name(s))
+        .field("n", n)
+        .field("tasks", n_tasks)
+        .field("steals", st.steals);
+    emitter().add(r);
 }
 
 }  // namespace
@@ -147,4 +178,14 @@ BENCHMARK(BM_GeqrfFineTiles)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (char const* path = std::getenv("TBP_BENCH_JSON"))
+        if (!emitter().empty())
+            emitter().write(path);
+    return 0;
+}

@@ -1,11 +1,21 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the figure-reproduction benches: console formatting,
+// accuracy metrics, environment-variable knobs, and the machine-readable
+// JSON result emitter used by bench_gemm_kernel and bench_scheduler.
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/qdwh.hh"
 #include "gen/matgen.hh"
@@ -63,5 +73,117 @@ inline std::vector<std::int64_t> bench_sizes(std::vector<std::int64_t> dflt) {
     }
     return out;
 }
+
+// --- machine-readable results ------------------------------------------------
+//
+// Benches that feed tooling (bench_gemm_kernel, bench_scheduler) emit their
+// measurements as one JSON document:
+//
+//   { "machine": { "host": ..., "hw_concurrency": ..., "compiler": ... },
+//     "records": [ { ... }, ... ] }
+//
+// Records are flat key/value objects; numbers stay numbers so downstream
+// scripts never parse formatted strings.
+
+/// One flat JSON object built field by field.
+class JsonRecord {
+public:
+    JsonRecord& field(std::string const& key, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        return raw(key, buf);
+    }
+    JsonRecord& field(std::string const& key, std::int64_t v) {
+        return raw(key, std::to_string(v));
+    }
+    JsonRecord& field(std::string const& key, int v) {
+        return field(key, static_cast<std::int64_t>(v));
+    }
+    JsonRecord& field(std::string const& key, std::uint64_t v) {
+        return raw(key, std::to_string(v));
+    }
+    JsonRecord& field(std::string const& key, bool v) {
+        return raw(key, v ? "true" : "false");
+    }
+    JsonRecord& field(std::string const& key, std::string const& v) {
+        return raw(key, quote(v));
+    }
+    JsonRecord& field(std::string const& key, char const* v) {
+        return raw(key, quote(v));
+    }
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+    static std::string quote(std::string const& s) {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+private:
+    JsonRecord& raw(std::string const& key, std::string const& val) {
+        if (!body_.empty())
+            body_ += ",";
+        body_ += quote(key) + ":" + val;
+        return *this;
+    }
+    std::string body_;
+};
+
+/// Collects records and writes the document (machine header + records).
+class JsonEmitter {
+public:
+    void add(JsonRecord const& r) { records_.push_back(r.str()); }
+    bool empty() const { return records_.empty(); }
+
+    std::string document() const {
+        std::ostringstream os;
+        os << "{\"machine\":" << machine_record().str() << ",\"records\":[";
+        for (size_t i = 0; i < records_.size(); ++i)
+            os << (i ? "," : "") << records_[i];
+        os << "]}\n";
+        return os.str();
+    }
+
+    /// Write the document to `path`; returns false (with a stderr note) on
+    /// I/O failure so benches can keep their console output regardless.
+    bool write(std::string const& path) const {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return false;
+        }
+        out << document();
+        return static_cast<bool>(out);
+    }
+
+    static JsonRecord machine_record() {
+        JsonRecord m;
+        char host[256] = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+        if (gethostname(host, sizeof host) != 0)
+            std::snprintf(host, sizeof host, "unknown");
+        host[sizeof host - 1] = '\0';
+#endif
+        m.field("host", host);
+        m.field("hw_concurrency",
+                static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+        m.field("compiler", __VERSION__);
+#endif
+        return m;
+    }
+
+private:
+    std::vector<std::string> records_;
+};
 
 }  // namespace tbp::bench

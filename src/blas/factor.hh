@@ -4,7 +4,9 @@
 
 #include <cmath>
 
+#include "blas/kernel/stats.hh"
 #include "common/error.hh"
+#include "common/flops.hh"
 #include "common/types.hh"
 #include "matrix/tile.hh"
 
@@ -55,6 +57,8 @@ void potrf(Uplo uplo, Tile<T> const& A) {
             }
         }
     }
+
+    kernel::count_flops(flops::potrf(n) * (fma_flops<T>() / 2.0));
 }
 
 }  // namespace tbp::blas

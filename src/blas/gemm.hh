@@ -2,22 +2,37 @@
 //
 // C := alpha * op(A) * op(B) + beta * C, with C m-by-n, op(A) m-by-k,
 // op(B) k-by-n. This is the workhorse kernel every tiled algorithm calls per
-// tile; the library has no vendor BLAS, so the kernel is written for decent
-// cache behaviour in the common NoTrans x {NoTrans, ConjTrans} cases used by
-// the QDWH building blocks.
+// tile. Two implementations share the entry point:
+//
+//   gemm        - dispatcher: routes to the packed register-blocked
+//                 micro-kernel layer (blas/kernel/) for non-trivial sizes,
+//                 falls back to the naive loops below the crossover or when
+//                 TBP_NAIVE_BLAS selects the reference path. Charges the
+//                 call's flops to the measured-rate counter (kernel/stats.hh).
+//   gemm_naive  - the original strided triple loop, kept as the reference
+//                 both paths are tested against.
+//
+// Beta convention (BLAS semantics, both paths): beta == 0 stores T(0) into C
+// unconditionally — C is write-only and pre-existing NaN/Inf in an
+// uninitialized tile is cleared, never propagated via 0 * NaN. beta == 1
+// leaves C untouched before accumulation.
 
 #pragma once
 
 #include <vector>
 
+#include "blas/kernel/gemm.hh"
+#include "blas/kernel/params.hh"
+#include "blas/kernel/stats.hh"
+#include "common/flops.hh"
 #include "common/types.hh"
 #include "matrix/tile.hh"
 
 namespace tbp::blas {
 
 template <typename T>
-void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
-          T beta, Tile<T> const& C) {
+void gemm_naive(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
+                T beta, Tile<T> const& C) {
     int const m = C.mb();
     int const n = C.nb();
     int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
@@ -27,11 +42,8 @@ void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
     tbp_require(((opB == Op::NoTrans) ? B.nb() : B.mb()) == n);
 
     // Scale C by beta first so the accumulation loops are uniform.
-    if (beta != T(1)) {
-        for (int j = 0; j < n; ++j)
-            for (int i = 0; i < m; ++i)
-                C(i, j) = (beta == T(0)) ? T(0) : beta * C(i, j);
-    }
+    // beta == 0 stores zeros unconditionally (see header).
+    kernel::scale_beta(beta, C);
     if (alpha == T(0) || k == 0)
         return;
 
@@ -79,6 +91,29 @@ void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
     }
 }
 
+/// Path selection without flop accounting — used by the blocked level-3
+/// kernels whose public entry points charge their own (aggregate) counts.
+template <typename T>
+void gemm_dispatch(Op opA, Op opB, T alpha, Tile<T> const& A,
+                   Tile<T> const& B, T beta, Tile<T> const& C) {
+    int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
+    double const volume =
+        static_cast<double>(C.mb()) * C.nb() * static_cast<double>(k);
+    if (kernel::use_naive() || volume < kernel::kGemmCrossover)
+        gemm_naive(opA, opB, alpha, A, B, beta, C);
+    else
+        kernel::gemm(opA, opB, alpha, A, B, beta, C);
+}
+
+template <typename T>
+void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
+          T beta, Tile<T> const& C) {
+    gemm_dispatch(opA, opB, alpha, A, B, beta, C);
+    int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
+    kernel::count_flops(flops::gemm(C.mb(), C.nb(), k)
+                        * (fma_flops<T>() / 2.0));
+}
+
 /// Matrix-vector style product used by gemmA reductions: y := alpha op(A) x
 /// + beta y, where x, y are dense column tiles (nb == 1 allowed but general).
 template <typename T>
@@ -101,6 +136,7 @@ void gemv(Op opA, T alpha, Tile<T> const& A, T const* x, T beta, T* y) {
             y[i] += alpha * sum;
         }
     }
+    kernel::count_flops(flops::gemm(m, n, 1) * (fma_flops<T>() / 2.0));
 }
 
 }  // namespace tbp::blas

@@ -10,13 +10,27 @@
 //   H = I - tau * v * v^H,  v(0) = 1,  H^H * x = beta * e1 with beta real.
 //   Q = H_1 * H_2 * ... * H_k = I - V * T * V^H with T upper triangular.
 // The factorization loop applies H^H from the left, so A = Q * R.
+//
+// The appliers (unmqr, tsmqr) are GEMM-shaped: both are compact-WY products
+// C -= V op(T) V^H C. Each has a *_naive elementwise reference and a level-3
+// form (copy + trmm on the triangular factors + GEMM on the dense blocks)
+// that routes the bulk of the flops through the packed micro-kernel layer;
+// the shared entry point dispatches on size / TBP_NAIVE_BLAS and charges the
+// aggregate flops to the measured-rate counter.
 
 #pragma once
 
 #include <cmath>
 #include <vector>
 
+#include "blas/gemm.hh"
+#include "blas/kernel/arena.hh"
+#include "blas/kernel/params.hh"
+#include "blas/kernel/stats.hh"
+#include "blas/level3.hh"
+#include "blas/util.hh"
 #include "common/error.hh"
+#include "common/flops.hh"
 #include "common/types.hh"
 #include "matrix/tile.hh"
 
@@ -127,15 +141,19 @@ void geqrt(Tile<T> const& A, Tile<T> const& Tf) {
         for (int i = j + 1; i < Tf.mb(); ++i)
             Tf(i, j) = T(0);
     }
+
+    kernel::count_flops(flops::geqrf(mb, nb) * (fma_flops<T>() / 2.0));
 }
 
-/// Apply the block reflector from geqrt(V, T) to tile C from the left:
+/// Apply the block reflector from geqrt(V, T) to tile C from the left
+/// (reference element loops):
 ///   op == ConjTrans: C := Q^H C = C - V T^H V^H C
 ///   op == NoTrans:   C := Q   C = C - V T   V^H C
 /// V is the tile that geqrt factored (reflectors in its strict lower part,
 /// unit diagonal implicit), k = min(V.mb, V.nb) reflectors.
 template <typename T>
-void unmqr(Op op, Tile<T> const& V, Tile<T> const& Tf, Tile<T> const& C) {
+void unmqr_naive(Op op, Tile<T> const& V, Tile<T> const& Tf,
+                 Tile<T> const& C) {
     int const mb = V.mb();
     int const k = std::min(mb, V.nb());
     int const nn = C.nb();
@@ -187,6 +205,64 @@ void unmqr(Op op, Tile<T> const& V, Tile<T> const& Tf, Tile<T> const& C) {
             C(r, j) -= s;
         }
     }
+}
+
+/// Level-3 unmqr: split V = [V1; V2] with V1 unit lower triangular (k-by-k)
+/// and V2 dense, then
+///   W  = op(T) * (V1^H C1 + V2^H C2)   (trmm + GEMM)
+///   C1 -= V1 * W,  C2 -= V2 * W        (trmm + GEMM)
+/// Workspaces come from the calling thread's arena (kWork0/kWork1); the
+/// GEMM panels go through the packed micro-kernel layer.
+template <typename T>
+void unmqr_level3(Op op, Tile<T> const& V, Tile<T> const& Tf,
+                  Tile<T> const& C) {
+    int const mb = V.mb();
+    int const k = std::min(mb, V.nb());
+    int const nn = C.nb();
+    tbp_require(C.mb() == mb);
+    tbp_require(op == Op::NoTrans || op == Op::ConjTrans);
+    if (k == 0 || nn == 0)
+        return;
+
+    auto& arena = kernel::tls_arena<T>();
+    std::size_t const wcount = static_cast<std::size_t>(k) * nn;
+    Tile<T> W(arena.get(kernel::kWork0, wcount), k, nn, k);
+    Tile<T> W2(arena.get(kernel::kWork1, wcount), k, nn, k);
+    auto V1 = V.sub(0, 0, k, k);
+    auto C1 = C.sub(0, 0, k, nn);
+
+    // W := V^H C = V1^H C1 + V2^H C2.
+    copy(C1, W);
+    trmm_dispatch(Uplo::Lower, Op::ConjTrans, Diag::Unit, T(1), V1, W);
+    if (mb > k)
+        gemm_dispatch(Op::ConjTrans, Op::NoTrans, T(1), V.sub(k, 0, mb - k, k),
+                      C.sub(k, 0, mb - k, nn), T(1), W);
+
+    // W := op(T) W.
+    trmm_dispatch(Uplo::Upper,
+                  (op == Op::NoTrans) ? Op::NoTrans : Op::ConjTrans,
+                  Diag::NonUnit, T(1), Tf.sub(0, 0, k, k), W);
+
+    // C1 -= V1 W (via W2 so W stays intact for the V2 update), C2 -= V2 W.
+    copy(W, W2);
+    trmm_dispatch(Uplo::Lower, Op::NoTrans, Diag::Unit, T(1), V1, W2);
+    add(T(-1), W2, T(1), C1);
+    if (mb > k)
+        gemm_dispatch(Op::NoTrans, Op::NoTrans, T(-1), V.sub(k, 0, mb - k, k),
+                      W, T(1), C.sub(k, 0, mb - k, nn));
+}
+
+template <typename T>
+void unmqr(Op op, Tile<T> const& V, Tile<T> const& Tf, Tile<T> const& C) {
+    int const mb = V.mb();
+    int const k = std::min(mb, V.nb());
+    int const nn = C.nb();
+    double const volume = static_cast<double>(mb) * k * nn;
+    if (kernel::use_naive() || volume < 4.0 * kernel::kGemmCrossover)
+        unmqr_naive(op, V, Tf, C);
+    else
+        unmqr_level3(op, V, Tf, C);
+    kernel::count_flops(flops::unmqr(mb, nn, k) * (fma_flops<T>() / 2.0));
 }
 
 /// Triangle-on-top-of-square QR: factor [R1; A2] where R1 = upper triangle
@@ -241,16 +317,19 @@ void tsqrt(Tile<T> const& A1, Tile<T> const& A2, Tile<T> const& Tf) {
         for (int i = j + 1; i < Tf.mb(); ++i)
             Tf(i, j) = T(0);
     }
+
+    kernel::count_flops(flops::tsqrt(m2, n) * (fma_flops<T>() / 2.0));
 }
 
-/// Apply the tsqrt block reflector to the tile pair [C1; C2]:
+/// Apply the tsqrt block reflector to the tile pair [C1; C2] (reference
+/// element loops):
 ///   op == ConjTrans: [C1; C2] := Q^H [C1; C2]
 ///   op == NoTrans:   [C1; C2] := Q   [C1; C2]
 /// where Q = I - [E; V2] T [E; V2]^H, E = [I_n; 0] occupying the first n
 /// rows of C1. V2 is m2-by-n (from tsqrt), C1 is (>= n)-by-nn, C2 m2-by-nn.
 template <typename T>
-void tsmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf,
-           Tile<T> const& C1, Tile<T> const& C2) {
+void tsmqr_naive(Op op, Tile<T> const& V2, Tile<T> const& Tf,
+                 Tile<T> const& C1, Tile<T> const& C2) {
     int const n = V2.nb();
     int const m2 = V2.mb();
     int const nn = C1.nb();
@@ -299,6 +378,51 @@ void tsmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf,
             C2(r, j) -= acc;
         }
     }
+}
+
+/// Level-3 tsmqr: the top of the reflector block is the identity, so
+///   S  = op(T) * (C1(0:n, :) + V2^H C2)   (GEMM + trmm)
+///   C1(0:n, :) -= S,  C2 -= V2 * S        (add + GEMM)
+/// with the two m2-deep GEMM panels carrying essentially all the flops.
+template <typename T>
+void tsmqr_level3(Op op, Tile<T> const& V2, Tile<T> const& Tf,
+                  Tile<T> const& C1, Tile<T> const& C2) {
+    int const n = V2.nb();
+    int const m2 = V2.mb();
+    int const nn = C1.nb();
+    tbp_require(C1.mb() >= n && C2.nb() == nn && C2.mb() == m2);
+    tbp_require(op == Op::NoTrans || op == Op::ConjTrans);
+    if (n == 0 || nn == 0)
+        return;
+
+    auto& arena = kernel::tls_arena<T>();
+    Tile<T> S(arena.get(kernel::kWork0, static_cast<std::size_t>(n) * nn), n,
+              nn, n);
+    auto C1t = C1.sub(0, 0, n, nn);
+
+    copy(C1t, S);
+    if (m2 > 0)
+        gemm_dispatch(Op::ConjTrans, Op::NoTrans, T(1), V2, C2, T(1), S);
+    trmm_dispatch(Uplo::Upper,
+                  (op == Op::NoTrans) ? Op::NoTrans : Op::ConjTrans,
+                  Diag::NonUnit, T(1), Tf.sub(0, 0, n, n), S);
+    add(T(-1), S, T(1), C1t);
+    if (m2 > 0)
+        gemm_dispatch(Op::NoTrans, Op::NoTrans, T(-1), V2, S, T(1), C2);
+}
+
+template <typename T>
+void tsmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf,
+           Tile<T> const& C1, Tile<T> const& C2) {
+    int const n = V2.nb();
+    int const m2 = V2.mb();
+    int const nn = C1.nb();
+    double const volume = static_cast<double>(m2 + n) * n * nn;
+    if (kernel::use_naive() || volume < 4.0 * kernel::kGemmCrossover)
+        tsmqr_naive(op, V2, Tf, C1, C2);
+    else
+        tsmqr_level3(op, V2, Tf, C1, C2);
+    kernel::count_flops(flops::tsmqr(m2, n, nn) * (fma_flops<T>() / 2.0));
 }
 
 }  // namespace tbp::blas

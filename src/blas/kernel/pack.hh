@@ -1,0 +1,111 @@
+// Packing of tile operands into contiguous, cache-blocked panels.
+//
+// pack_a lays out an mc x kc block of op(A) as ceil(mc/MR) strips, each strip
+// holding kc steps of MR contiguous scalars (the micro-kernel's A operand);
+// pack_b lays out a kc x nc block of op(B) as NR-column strips. Both
+// zero-pad the last partial strip to full MR/NR width so the micro-kernel
+// never needs edge masks — fringe handling happens only on the C store.
+//
+// The transpose/conjugation of the operand is absorbed here: the micro-kernel
+// always sees plain row-strips, so one kernel serves all Op combinations.
+//
+// Complex scalars are split into real/imaginary planes per k-step
+// ([MR reals][MR imags]), which lets the complex micro-kernels vectorize on
+// contiguous real data. A strip therefore occupies the same number of
+// *complex* elements (kc * MR) whether split or not, so buffer sizing in T
+// units is uniform across types.
+
+#pragma once
+
+#include <algorithm>
+
+#include "blas/kernel/params.hh"
+#include "common/types.hh"
+#include "matrix/tile.hh"
+
+namespace tbp::blas::kernel {
+
+namespace detail {
+
+/// Write mc x kc elements elem(i, l) as MR-row strips into buf.
+template <typename T, int BR, typename Elem>
+inline void pack_strips(int mc, int kc, Elem&& elem, T* buf) {
+    using R = real_t<T>;
+    if constexpr (is_complex_v<T>) {
+        R* out = reinterpret_cast<R*>(buf);
+        for (int ir = 0; ir < mc; ir += BR) {
+            int const br = std::min(BR, mc - ir);
+            for (int l = 0; l < kc; ++l, out += 2 * BR) {
+                for (int i = 0; i < br; ++i) {
+                    T const v = elem(ir + i, l);
+                    out[i] = v.real();
+                    out[BR + i] = v.imag();
+                }
+                for (int i = br; i < BR; ++i) {
+                    out[i] = R(0);
+                    out[BR + i] = R(0);
+                }
+            }
+        }
+    } else {
+        T* out = buf;
+        for (int ir = 0; ir < mc; ir += BR) {
+            int const br = std::min(BR, mc - ir);
+            for (int l = 0; l < kc; ++l, out += BR) {
+                for (int i = 0; i < br; ++i)
+                    out[i] = elem(ir + i, l);
+                for (int i = br; i < BR; ++i)
+                    out[i] = T(0);
+            }
+        }
+    }
+}
+
+}  // namespace detail
+
+/// Pack rows [i0, i0+mc) x columns [p0, p0+kc) of op(A) into MR strips.
+template <typename T>
+void pack_a(Op op, Tile<T> const& A, int i0, int p0, int mc, int kc, T* buf) {
+    constexpr int MR = Params<T>::MR;
+    switch (op) {
+        case Op::NoTrans:
+            detail::pack_strips<T, MR>(
+                mc, kc, [&](int i, int l) { return A(i0 + i, p0 + l); }, buf);
+            break;
+        case Op::Trans:
+            detail::pack_strips<T, MR>(
+                mc, kc, [&](int i, int l) { return A(p0 + l, i0 + i); }, buf);
+            break;
+        case Op::ConjTrans:
+            detail::pack_strips<T, MR>(
+                mc, kc,
+                [&](int i, int l) { return conj_val(A(p0 + l, i0 + i)); },
+                buf);
+            break;
+    }
+}
+
+/// Pack rows [p0, p0+kc) x columns [j0, j0+nc) of op(B) into NR strips
+/// (strips run over columns; each k-step holds NR column values).
+template <typename T>
+void pack_b(Op op, Tile<T> const& B, int p0, int j0, int kc, int nc, T* buf) {
+    constexpr int NR = Params<T>::NR;
+    switch (op) {
+        case Op::NoTrans:
+            detail::pack_strips<T, NR>(
+                nc, kc, [&](int j, int l) { return B(p0 + l, j0 + j); }, buf);
+            break;
+        case Op::Trans:
+            detail::pack_strips<T, NR>(
+                nc, kc, [&](int j, int l) { return B(j0 + j, p0 + l); }, buf);
+            break;
+        case Op::ConjTrans:
+            detail::pack_strips<T, NR>(
+                nc, kc,
+                [&](int j, int l) { return conj_val(B(j0 + j, p0 + l)); },
+                buf);
+            break;
+    }
+}
+
+}  // namespace tbp::blas::kernel

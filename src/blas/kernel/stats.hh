@@ -1,0 +1,42 @@
+// Measured-flop accounting for the tile kernels.
+//
+// Every public blas:: entry point (gemm, herk, trsm, trmm, unmqr, tsmqr)
+// charges its real-flop count here exactly once per call, regardless of
+// which implementation path (micro-kernel or naive) ran. The perf layer
+// (sched_report, the driver, the benches) snapshots the counter around a
+// region of interest and divides by wall time to report the *achieved*
+// GFLOP/s next to the machine model's assumed rates — the measured number
+// that calibrates cost_model's cpu_core_gflops.
+//
+// The counter is a single atomic, incremented once per tile-kernel call
+// (microseconds of work at minimum), so contention is negligible.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tbp::blas::kernel {
+
+inline std::atomic<std::uint64_t>& flop_counter() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter;
+}
+
+/// Charge `fl` real flops (callers pass complex-weighted counts already).
+inline void count_flops(double fl) {
+    if (fl > 0)
+        flop_counter().fetch_add(static_cast<std::uint64_t>(fl),
+                                 std::memory_order_relaxed);
+}
+
+/// Total real flops performed by tile kernels since start (or last reset).
+inline double flops_performed() {
+    return static_cast<double>(flop_counter().load(std::memory_order_relaxed));
+}
+
+inline void reset_flops() {
+    flop_counter().store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tbp::blas::kernel

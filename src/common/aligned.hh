@@ -1,0 +1,51 @@
+// 64-byte-aligned allocation helpers.
+//
+// Tile storage and the kernel pack buffers are allocated cache-line aligned
+// so vector loads on tile origins and packed panels never straddle lines and
+// never need the compiler's unaligned fixup paths. 64 bytes also matches the
+// widest vector unit we dispatch to (AVX-512).
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace tbp {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Round `n` up to a multiple of `align` (align > 0).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) / align * align;
+}
+
+/// Minimal allocator delivering kCacheLineBytes-aligned storage, for use as
+/// std::vector's allocator (aligned_vector below).
+template <typename T>
+struct AlignedAllocator {
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(AlignedAllocator<U> const&) noexcept {}
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(::operator new(
+            n * sizeof(T), std::align_val_t(kCacheLineBytes)));
+    }
+    void deallocate(T* p, std::size_t n) noexcept {
+        ::operator delete(p, n * sizeof(T), std::align_val_t(kCacheLineBytes));
+    }
+
+    template <typename U>
+    bool operator==(AlignedAllocator<U> const&) const noexcept {
+        return true;
+    }
+};
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace tbp

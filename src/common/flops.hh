@@ -30,6 +30,31 @@ inline double trsm_right(double m, double n) { return n * n * m; }
 
 inline double potrf(double n) { return n * n * n / 3.0 + n * n / 2.0; }
 
+inline double trmm(double m, double n) {
+    // Left side: B := alpha op(A) B with A m-by-m triangular, B m-by-n.
+    return m * m * n;
+}
+
+inline double unmqr(double m, double n, double k) {
+    // Compact-WY applier on an m-by-n C with k reflectors, decomposed as
+    // two unit-triangular trmm (k^2 n each), the op(T) trmm (k^2 n), two
+    // dense GEMM panels (2(m-k)kn each), and the rank-update adds (2kn).
+    return 4.0 * (m - k) * k * n + 3.0 * k * k * n + 2.0 * k * n;
+}
+
+inline double tsmqr(double m2, double n, double k_cols) {
+    // Triangle-on-square applier: two m2-deep GEMM panels (2 m2 n k each),
+    // the op(T) trmm (n^2 k), and the subtraction into C1 (2 n k).
+    return 4.0 * m2 * n * k_cols + n * n * k_cols + 2.0 * n * k_cols;
+}
+
+inline double tsqrt(double m2, double n) {
+    // Triangle-on-square panel factorization: reflector applications
+    // (~2 m2 n^2), the T inner products (~m2 n^2), and the triangular
+    // T composition (~n^3 / 3).
+    return 3.0 * m2 * n * n + n * n * n / 3.0;
+}
+
 inline double geqrf(double m, double n) {
     // 2mn^2 - 2/3 n^3 + lower order
     return 2.0 * m * n * n - 2.0 / 3.0 * n * n * n;

@@ -20,6 +20,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/aligned.hh"
 #include "common/error.hh"
 #include "common/types.hh"
 #include "matrix/tile.hh"
@@ -61,12 +62,17 @@ public:
             tbp_require(s_->cb[j] > 0);
             s_->col_off[j + 1] = s_->col_off[j] + s_->cb[j];
         }
+        // Each tile slot is rounded up to a whole number of cache lines so
+        // every tile origin is 64-byte aligned (the allocator aligns the
+        // base), keeping packed-kernel loads and stores off split lines.
+        constexpr size_t align_elems = kCacheLineBytes / sizeof(T);
         s_->tile_offset.resize(static_cast<size_t>(s_->mt) * s_->nt + 1, 0);
         size_t off = 0;
         for (int j = 0; j < s_->nt; ++j) {
             for (int i = 0; i < s_->mt; ++i) {
                 s_->tile_offset[idx(i, j)] = off;
-                off += static_cast<size_t>(s_->rb[i]) * s_->cb[j];
+                off += round_up(static_cast<size_t>(s_->rb[i]) * s_->cb[j],
+                                align_elems);
             }
         }
         s_->tile_offset.back() = off;
@@ -180,7 +186,7 @@ public:
 
 private:
     struct Storage {
-        std::vector<T> data;
+        aligned_vector<T> data;
         std::vector<size_t> tile_offset;  // column-major over (i, j)
         std::vector<int> rb, cb;
         std::vector<std::int64_t> row_off, col_off;

@@ -70,4 +70,16 @@ QdwhPerfResult qdwh_perf(MachineModel const& machine, Device device,
     return r;
 }
 
+AchievedRate achieved_vs_model(QdwhPerfResult const& model,
+                               double measured_flops, double seconds) {
+    AchievedRate r;
+    r.measured_flops = measured_flops;
+    r.seconds = seconds;
+    r.achieved_gflops = seconds > 0 ? measured_flops / seconds / 1e9 : 0.0;
+    r.modeled_gflops = model.tflops * 1e3;
+    r.ratio = r.modeled_gflops > 0 ? r.achieved_gflops / r.modeled_gflops
+                                   : 0.0;
+    return r;
+}
+
 }  // namespace tbp::perf

@@ -37,4 +37,19 @@ QdwhPerfResult qdwh_perf(MachineModel const& machine, Device device,
                          Schedule schedule, std::int64_t n, int nb,
                          int it_qr = 3, int it_chol = 3);
 
+/// Measured-vs-modeled comparison for a real run: the achieved compute rate
+/// from the tile kernels' flop counter (blas::kernel::flops_performed()
+/// delta over the region) against the cost model's projected rate for the
+/// same problem. `ratio` > 1 means the host beat the model's assumptions.
+struct AchievedRate {
+    double measured_flops = 0;   ///< tile-kernel flops actually executed
+    double seconds = 0;          ///< measured wall time
+    double achieved_gflops = 0;  ///< measured_flops / seconds
+    double modeled_gflops = 0;   ///< model_flops / model seconds
+    double ratio = 0;            ///< achieved / modeled
+};
+
+AchievedRate achieved_vs_model(QdwhPerfResult const& model,
+                               double measured_flops, double seconds);
+
 }  // namespace tbp::perf

@@ -23,12 +23,20 @@ struct SchedReport {
     rt::SchedulerEfficiency sched;     ///< measured steal/idle behaviour
     rt::Engine::SchedStats counters;   ///< engine event counters
     int workers = 0;
+    double measured_flops = 0;         ///< tile-kernel flops (kernel/stats.hh)
 
     /// Executed tasks per second of wall time (scheduler throughput).
     double tasks_per_sec() const {
         return sched.makespan > 0
                    ? static_cast<double>(dag.tasks) / sched.makespan
                    : 0.0;
+    }
+
+    /// Achieved compute rate over the makespan: the measured counterpart of
+    /// the machine model's assumed GFLOP/s (cost_model's cpu_core_gflops).
+    double achieved_gflops() const {
+        return sched.makespan > 0 ? measured_flops / sched.makespan / 1e9
+                                  : 0.0;
     }
 
     std::string format() const {
@@ -46,18 +54,26 @@ struct SchedReport {
            << counters.sleeps << "\n"
            << "  idle " << sched.idle << " worker-seconds, priority tasks "
            << sched.priority_tasks << "\n";
+        if (measured_flops > 0) {
+            os << "  kernel flops " << measured_flops << ", achieved "
+               << achieved_gflops() << " GFLOP/s\n";
+        }
         return os.str();
     }
 };
 
 /// Snapshot a report from an engine whose trace covers the run of interest.
-/// Call after Engine::wait().
-inline SchedReport sched_report(rt::Engine const& eng) {
+/// Call after Engine::wait(). Pass the tile-kernel flop delta for the region
+/// (blas::kernel::flops_performed() before/after) to get achieved GFLOP/s in
+/// the report; the no-argument form leaves that line out.
+inline SchedReport sched_report(rt::Engine const& eng,
+                                double measured_flops = 0) {
     SchedReport r;
     r.dag = rt::analyze(eng.trace());
     r.sched = rt::scheduler_efficiency(eng.trace());
     r.counters = eng.sched_stats();
     r.workers = eng.num_threads();
+    r.measured_flops = measured_flops;
     return r;
 }
 

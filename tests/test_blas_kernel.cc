@@ -1,0 +1,314 @@
+// Micro-kernel layer (blas/kernel/) vs the naive reference loops.
+//
+// Every routine that dispatches between a packed/blocked path and the naive
+// element loops is checked for bitwise-plausible agreement on the same
+// inputs: gemm across all op combinations, odd/fringe sizes (deliberately
+// not multiples of any MR/NR/MC/KC), strided sub-views with ld > mb, and the
+// alpha/beta corner cases including the beta == 0 store-zeros convention.
+// herk/trsm/trmm run blocked-vs-naive above the kL3Block crossover, and the
+// level-3 Householder appliers run against their element-loop references.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "blas/gemm.hh"
+#include "blas/householder.hh"
+#include "blas/level3.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class BlasKernel : public ::testing::Test {};
+TYPED_TEST_SUITE(BlasKernel, test::AllTypes);
+
+namespace {
+
+template <typename T>
+Tile<T> as_tile(ref::Dense<T>& D) {
+    return Tile<T>(D.data(), static_cast<int>(D.m()), static_cast<int>(D.n()),
+                   static_cast<int>(D.m()));
+}
+
+/// Agreement tolerance between two level-3 formulations of the same product:
+/// both accumulate ~k rounding steps, so scale eps by the reduction depth.
+template <typename T>
+real_t<T> path_tol(int k) {
+    return test::tol<T>(50.0 * std::max(k, 8));
+}
+
+template <typename T>
+void check_gemm_paths(Op opA, Op opB, int m, int n, int k, T alpha, T beta) {
+    auto A = (opA == Op::NoTrans) ? ref::random_dense<T>(m, k, 17)
+                                  : ref::random_dense<T>(k, m, 17);
+    auto B = (opB == Op::NoTrans) ? ref::random_dense<T>(k, n, 29)
+                                  : ref::random_dense<T>(n, k, 29);
+    auto C = ref::random_dense<T>(m, n, 43);
+    auto Cref = C;
+
+    blas::gemm_naive(opA, opB, alpha, as_tile(A), as_tile(B), beta,
+                     as_tile(Cref));
+    blas::kernel::gemm(opA, opB, alpha, as_tile(A), as_tile(B), beta,
+                       as_tile(C));
+    EXPECT_LE(ref::diff_fro(C, Cref),
+              path_tol<T>(k) * (1 + ref::norm_fro(Cref)))
+        << "opA=" << static_cast<int>(opA) << " opB=" << static_cast<int>(opB)
+        << " m=" << m << " n=" << n << " k=" << k;
+}
+
+}  // namespace
+
+TYPED_TEST(BlasKernel, GemmAllOpsOddSizes) {
+    using T = TypeParam;
+    T const alpha = from_real<T>(real_t<T>(1.25));
+    T const beta = from_real<T>(real_t<T>(-0.5));
+    for (Op opA : {Op::NoTrans, Op::Trans, Op::ConjTrans})
+        for (Op opB : {Op::NoTrans, Op::Trans, Op::ConjTrans})
+            check_gemm_paths<T>(opA, opB, 37, 29, 31, alpha, beta);
+}
+
+TYPED_TEST(BlasKernel, GemmFringeSizes) {
+    using T = TypeParam;
+    T const alpha = from_real<T>(real_t<T>(0.75));
+    T const beta = from_real<T>(real_t<T>(1.5));
+    // Degenerate panels, single rows/columns, and sizes straddling the
+    // register/cache blocking (MR/NR fringes, MC/KC boundaries).
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, 5, 67, 3, alpha, beta);
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, 130, 70, 85, alpha, beta);
+    check_gemm_paths<T>(Op::ConjTrans, Op::NoTrans, 1, 9, 200, alpha, beta);
+    check_gemm_paths<T>(Op::NoTrans, Op::ConjTrans, 97, 1, 33, alpha, beta);
+    check_gemm_paths<T>(Op::Trans, Op::Trans, 33, 31, 1, alpha, beta);
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, 257, 129, 96, alpha, beta);
+}
+
+TYPED_TEST(BlasKernel, GemmAlphaBetaCorners) {
+    using T = TypeParam;
+    int const m = 41, n = 23, k = 19;
+    T const one(1), zero(0);
+    T const a = from_real<T>(real_t<T>(2.0));
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, m, n, k, zero, a);
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, m, n, k, a, zero);
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, m, n, k, one, one);
+    check_gemm_paths<T>(Op::NoTrans, Op::NoTrans, m, n, k, zero, zero);
+}
+
+TYPED_TEST(BlasKernel, GemmSubViewsLdGtMb) {
+    using T = TypeParam;
+    // Operands are interior windows of a larger tile, so every view has
+    // ld > mb and a nonzero row/col offset — the packing routines must honor
+    // the stride, and stores must not touch the frame.
+    int const M = 150, N = 140;
+    int const m = 53, n = 38, k = 47;
+    auto Abig = ref::random_dense<T>(M, N, 7);
+    auto Bbig = ref::random_dense<T>(M, N, 8);
+    auto Cbig = ref::random_dense<T>(M, N, 9);
+    auto Cframe = Cbig;
+
+    auto A = as_tile(Abig).sub(11, 5, m, k);
+    auto B = as_tile(Bbig).sub(3, 21, k, n);
+    auto C = as_tile(Cbig).sub(29, 17, m, n);
+
+    ref::Dense<T> Ad(m, k), Bd(k, n), Cd(m, n);
+    for (int j = 0; j < k; ++j)
+        for (int i = 0; i < m; ++i)
+            Ad(i, j) = A(i, j);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < k; ++i)
+            Bd(i, j) = B(i, j);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            Cd(i, j) = C(i, j);
+
+    T const alpha = from_real<T>(real_t<T>(1.5));
+    T const beta = from_real<T>(real_t<T>(0.25));
+    blas::gemm_naive(Op::NoTrans, Op::NoTrans, alpha, as_tile(Ad),
+                     as_tile(Bd), beta, as_tile(Cd));
+    blas::kernel::gemm(Op::NoTrans, Op::NoTrans, alpha, A, B, beta, C);
+
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            EXPECT_LE(std::abs(C(i, j) - Cd(i, j)),
+                      path_tol<T>(k) * (1 + std::abs(Cd(i, j))));
+
+    // The frame around the window must be untouched.
+    for (int j = 0; j < N; ++j)
+        for (int i = 0; i < M; ++i) {
+            bool const inside =
+                i >= 29 && i < 29 + m && j >= 17 && j < 17 + n;
+            if (!inside)
+                ASSERT_EQ(Cbig(i, j), Cframe(i, j))
+                    << "frame touched at (" << i << "," << j << ")";
+        }
+}
+
+TYPED_TEST(BlasKernel, GemmBetaZeroClearsNaN) {
+    using T = TypeParam;
+    using R = real_t<T>;
+    int const m = 40, n = 36, k = 24;
+    auto A = ref::random_dense<T>(m, k, 4);
+    auto B = ref::random_dense<T>(k, n, 5);
+    ref::Dense<T> C(m, n);
+    R const qnan = std::numeric_limits<R>::quiet_NaN();
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            C(i, j) = from_real<T>(qnan);
+    auto Cref = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), A, B);
+
+    // beta == 0 must overwrite, never scale: NaNs in C may not survive.
+    blas::kernel::gemm(Op::NoTrans, Op::NoTrans, T(1), as_tile(A), as_tile(B),
+                       T(0), as_tile(C));
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            ASSERT_TRUE(std::isfinite(std::abs(C(i, j))));
+    EXPECT_LE(ref::diff_fro(C, Cref),
+              path_tol<T>(k) * (1 + ref::norm_fro(Cref)));
+
+    // Same convention on the naive path.
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            C(i, j) = from_real<T>(qnan);
+    blas::gemm_naive(Op::NoTrans, Op::NoTrans, T(1), as_tile(A), as_tile(B),
+                     T(0), as_tile(C));
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i)
+            ASSERT_TRUE(std::isfinite(std::abs(C(i, j))));
+}
+
+TYPED_TEST(BlasKernel, HerkBlockedMatchesNaive) {
+    using T = TypeParam;
+    using R = real_t<T>;
+    int const n = 100, k = 37;  // n > kL3Block so the public entry blocks
+    R const alpha = R(0.5), beta = R(-1.5);
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper})
+        for (Op op : {Op::NoTrans, Op::ConjTrans}) {
+            auto A = (op == Op::NoTrans) ? ref::random_dense<T>(n, k, 21)
+                                         : ref::random_dense<T>(k, n, 21);
+            auto C = ref::random_dense<T>(n, n, 31);
+            auto Cref = C;
+            blas::herk_naive(uplo, op, alpha, as_tile(A), beta,
+                             as_tile(Cref));
+            blas::herk_blocked(uplo, op, alpha, as_tile(A), beta, as_tile(C));
+            EXPECT_LE(ref::diff_fro(C, Cref),
+                      path_tol<T>(k) * (1 + ref::norm_fro(Cref)))
+                << "uplo=" << static_cast<int>(uplo)
+                << " op=" << static_cast<int>(op);
+        }
+}
+
+TYPED_TEST(BlasKernel, TrsmBlockedMatchesNaive) {
+    using T = TypeParam;
+    int const m = 96, n = 70;  // both > kL3Block in the triangular dimension
+    T const alpha = from_real<T>(real_t<T>(2.0));
+    for (Side side : {Side::Left, Side::Right})
+        for (Uplo uplo : {Uplo::Lower, Uplo::Upper})
+            for (Op op : {Op::NoTrans, Op::ConjTrans})
+                for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+                    int const na = (side == Side::Left) ? m : n;
+                    auto A = ref::random_dense<T>(na, na, 51);
+                    for (int i = 0; i < na; ++i)  // well-conditioned solve
+                        A(i, i) = A(i, i) + from_real<T>(real_t<T>(4));
+                    auto B = ref::random_dense<T>(m, n, 61);
+                    auto Bref = B;
+                    blas::trsm_naive(side, uplo, op, diag, alpha, as_tile(A),
+                                     as_tile(Bref));
+                    blas::trsm_blocked(side, uplo, op, diag, alpha,
+                                       as_tile(A), as_tile(B));
+                    EXPECT_LE(ref::diff_fro(B, Bref),
+                              path_tol<T>(na) * (1 + ref::norm_fro(Bref)))
+                        << "side=" << static_cast<int>(side)
+                        << " uplo=" << static_cast<int>(uplo)
+                        << " op=" << static_cast<int>(op)
+                        << " diag=" << static_cast<int>(diag);
+                }
+}
+
+TYPED_TEST(BlasKernel, TrmmBlockedMatchesNaive) {
+    using T = TypeParam;
+    int const m = 96, n = 58;
+    T const alpha = from_real<T>(real_t<T>(-0.75));
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper})
+        for (Op op : {Op::NoTrans, Op::ConjTrans})
+            for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+                auto A = ref::random_dense<T>(m, m, 71);
+                auto B = ref::random_dense<T>(m, n, 81);
+                auto Bref = B;
+                blas::trmm_naive(uplo, op, diag, alpha, as_tile(A),
+                                 as_tile(Bref));
+                blas::trmm_blocked(uplo, op, diag, alpha, as_tile(A),
+                                   as_tile(B));
+                EXPECT_LE(ref::diff_fro(B, Bref),
+                          path_tol<T>(m) * (1 + ref::norm_fro(Bref)))
+                    << "uplo=" << static_cast<int>(uplo)
+                    << " op=" << static_cast<int>(op)
+                    << " diag=" << static_cast<int>(diag);
+            }
+}
+
+TYPED_TEST(BlasKernel, UnmqrLevel3MatchesNaive) {
+    using T = TypeParam;
+    int const mb = 96, nb = 32, nn = 40;
+    auto V = ref::random_dense<T>(mb, nb, 91);
+    ref::Dense<T> Tf(nb, nb);
+    blas::geqrt(as_tile(V), as_tile(Tf));
+
+    for (Op op : {Op::NoTrans, Op::ConjTrans}) {
+        auto C = ref::random_dense<T>(mb, nn, 92);
+        auto Cref = C;
+        blas::unmqr_naive(op, as_tile(V), as_tile(Tf), as_tile(Cref));
+        blas::unmqr_level3(op, as_tile(V), as_tile(Tf), as_tile(C));
+        EXPECT_LE(ref::diff_fro(C, Cref),
+                  path_tol<T>(mb) * (1 + ref::norm_fro(Cref)))
+            << "op=" << static_cast<int>(op);
+    }
+}
+
+TYPED_TEST(BlasKernel, TsmqrLevel3MatchesNaive) {
+    using T = TypeParam;
+    int const n = 32, m2 = 96, nn = 40;
+    auto A1 = ref::random_dense<T>(n, n, 93);
+    auto A2 = ref::random_dense<T>(m2, n, 94);
+    ref::Dense<T> Tf(n, n);
+    blas::tsqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+
+    for (Op op : {Op::NoTrans, Op::ConjTrans}) {
+        auto C1 = ref::random_dense<T>(n, nn, 95);
+        auto C2 = ref::random_dense<T>(m2, nn, 96);
+        auto C1ref = C1, C2ref = C2;
+        blas::tsmqr_naive(op, as_tile(A2), as_tile(Tf), as_tile(C1ref),
+                          as_tile(C2ref));
+        blas::tsmqr_level3(op, as_tile(A2), as_tile(Tf), as_tile(C1),
+                           as_tile(C2));
+        EXPECT_LE(ref::diff_fro(C1, C1ref),
+                  path_tol<T>(m2) * (1 + ref::norm_fro(C1ref)))
+            << "op=" << static_cast<int>(op);
+        EXPECT_LE(ref::diff_fro(C2, C2ref),
+                  path_tol<T>(m2) * (1 + ref::norm_fro(C2ref)))
+            << "op=" << static_cast<int>(op);
+    }
+}
+
+TYPED_TEST(BlasKernel, PublicGemmRoutesAndCounts) {
+    using T = TypeParam;
+    // The public entry must agree with the naive path regardless of which
+    // kernel it picks, and the flop counter must advance by the model count.
+    int const m = 80, n = 72, k = 64;
+    auto A = ref::random_dense<T>(m, k, 97);
+    auto B = ref::random_dense<T>(k, n, 98);
+    auto C = ref::random_dense<T>(m, n, 99);
+    auto Cref = C;
+    T const alpha = from_real<T>(real_t<T>(1.5));
+    T const beta = from_real<T>(real_t<T>(0.5));
+
+    blas::gemm_naive(Op::NoTrans, Op::NoTrans, alpha, as_tile(A), as_tile(B),
+                     beta, as_tile(Cref));
+    double const f0 = blas::kernel::flops_performed();
+    blas::gemm(Op::NoTrans, Op::NoTrans, alpha, as_tile(A), as_tile(B), beta,
+               as_tile(C));
+    double const df = blas::kernel::flops_performed() - f0;
+    EXPECT_LE(ref::diff_fro(C, Cref),
+              path_tol<T>(k) * (1 + ref::norm_fro(Cref)));
+    EXPECT_DOUBLE_EQ(df, flops::gemm(m, n, k) * (fma_flops<T>() / 2.0));
+}

@@ -21,8 +21,10 @@
 #include <cstring>
 #include <string>
 
+#include "blas/kernel/stats.hh"
 #include "common/timer.hh"
 #include "core/baselines.hh"
+#include "perf/qdwh_model.hh"
 #include "core/qdwh.hh"
 #include "core/qdwh_mixed.hh"
 #include "core/qdwh_svd.hh"
@@ -140,6 +142,7 @@ int run_tiled(Args const& a) {
     int iters = 0, it_qr = 0, it_chol = 0;
     double flops = 0;
     eng.reset_stats();
+    double const kflops0 = blas::kernel::flops_performed();
 
     if (a.algo == "qdwh") {
         auto info = qdwh(eng, A, H);
@@ -178,6 +181,7 @@ int run_tiled(Args const& a) {
         return 2;
     }
     double const secs = t_run.elapsed();
+    double const kflops = blas::kernel::flops_performed() - kflops0;
 
     // The paper's metrics.
     auto U = ref::to_dense(A);
@@ -196,11 +200,26 @@ int run_tiled(Args const& a) {
     std::printf("  iterations %d (qr/solves %d, chol %d)   time %.3fs   "
                 "%.2f Gflop/s\n",
                 iters, it_qr, it_chol, secs, flops / secs / 1e9);
+    std::printf("  kernel flops %.3e   achieved %.2f Gflop/s (measured)\n",
+                kflops, secs > 0 ? kflops / secs / 1e9 : 0.0);
     std::printf("  ||I-U'U||/sqrt(n) = %.3e   ||A-UH||/||A|| = %.3e\n", orth,
                 bwd);
-    if (a.verbose)
+    if (a.verbose) {
         std::printf("  gen time %.3fs   tasks %llu\n", gen_s,
                     static_cast<unsigned long long>(eng.tasks_executed()));
+        if (a.algo == "qdwh") {
+            // Measured rate vs the Summit single-node CPU projection for the
+            // same problem — how far this host is from the model's testbed.
+            auto model = perf::qdwh_perf(perf::MachineModel::summit(1),
+                                         perf::Device::Cpu,
+                                         perf::Schedule::TaskDataflow, a.n,
+                                         a.nb, it_qr, it_chol);
+            auto rate = perf::achieved_vs_model(model, kflops, secs);
+            std::printf("  model (summit 1-node cpu): %.2f Gflop/s modeled, "
+                        "ratio %.3f\n",
+                        rate.modeled_gflops, rate.ratio);
+        }
+    }
     return 0;
 }
 
