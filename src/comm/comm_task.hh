@@ -1,0 +1,146 @@
+// Communication as schedulable tasks on the shared-memory engine.
+//
+// Each rank runs its own rt::Engine; tile sends and receives are submitted
+// as tasks keyed on the tile/staged-buffer data pointers, so the engine's
+// dataflow dependencies order them against the compute tasks exactly like
+// SLATE's communication tasks inside the OpenMP DAG: a gemm that consumes a
+// staged panel tile waits (RAW on the staged buffer) for the receive task
+// that fills it, while independent gemms keep the workers busy — comm and
+// compute overlap through the DAG, not through explicit phases.
+//
+// Deadlock discipline (blocking receives on a finite worker pool): every
+// send task is submitted BEFORE any receive task and at priority 1. A
+// worker always pops its own priority lane first, so by the time any
+// worker can pop a receive task (receives are submitted only after every
+// send has been distributed to the deques), each worker has drained the
+// sends in its own deque; a worker parked in a blocking receive therefore
+// never strands an unexecuted send behind it, other workers drain their
+// own lanes independently, and the transport's buffered sends guarantee
+// the matching messages arrive. This holds for any worker count >= 1 and
+// for Sequential mode (inline execution preserves the same order).
+
+#pragma once
+
+#include "comm/dist_algs.hh"
+#include "runtime/engine.hh"
+
+namespace tbp::comm {
+
+/// Submit a tile send as an engine task (read access on the tile data,
+/// priority 1 — see the deadlock discipline above). The tile must not be
+/// rewritten by tasks submitted later in this epoch unless they declare an
+/// access on the same key.
+template <typename T>
+void task_send_tile(rt::Engine& eng, Communicator& c, Tile<T> t, int dst,
+                    int tag) {
+    eng.submit("send_tile", {rt::read(t.data())},
+               [&c, t, dst, tag] { detail::send_tile(c, t, dst, tag); }, 1);
+}
+
+/// Submit a tile receive as an engine task. `dst` is resized here so its
+/// buffer pointer (the dependency key) is stable; the task body blocks
+/// until the message arrives. Submit only after every send task of the
+/// epoch (see the deadlock discipline above).
+template <typename T>
+void task_recv_tile(rt::Engine& eng, Communicator& c, detail::Staged<T>& dst,
+                    int mb, int nb, int src, int tag) {
+    dst.mb = mb;
+    dst.nb = nb;
+    dst.buf.assign(static_cast<size_t>(mb) * nb, T(0));
+    eng.submit("recv_tile", {rt::write(dst.buf.data())},
+               [&c, &dst, src, tag] {
+                   c.recv(dst.buf.data(), dst.buf.size(), src, tag);
+               });
+}
+
+/// SUMMA gemm (C := alpha A B + beta C, NoTrans, conforming block-cyclic
+/// distributions) with communication and computation both running as tasks
+/// on this rank's engine. Submission order per the header discipline:
+/// C scales, then every panel send of every step, then the receives, then
+/// the gemms; the dataflow (RAW on staged buffers, RW chains on C tiles)
+/// reproduces dist_gemm's accumulation order bit-for-bit while the engine
+/// overlaps receives with ready gemms. Staged panels for all kt steps are
+/// alive at once: O(kt * (mt + nt)) tiles of workspace — the price of a
+/// full-DAG epoch.
+template <typename T>
+void dist_gemm_tasks(Communicator& c, rt::Engine& eng, Grid g, T alpha,
+                     DistMatrix<T>& A, DistMatrix<T>& B, T beta,
+                     DistMatrix<T>& C) {
+    int const mt = C.mt(), nt = C.nt(), kt = A.nt();
+    tbp_require(A.mt() == mt && B.mt() == kt && B.nt() == nt);
+
+    for (int j = 0; j < nt; ++j)
+        for (int i = 0; i < mt; ++i)
+            if (C.is_local(i, j)) {
+                auto t = C.tile(i, j);
+                eng.submit("scale_c", {rt::readwrite(t.data())},
+                           [t, beta] { blas::scale(beta, t); });
+            }
+
+    // Distinct tag namespace from the SPMD kernels so an engine epoch can
+    // coexist with them in one World::run.
+    int const tag0 = 1 << 27;
+    auto tag_a = [&](int l, int i) { return tag0 + l * (mt + nt) + i; };
+    auto tag_b = [&](int l, int j) { return tag0 + l * (mt + nt) + mt + j; };
+
+    // Phase 1: every send of every step (priority 1).
+    for (int l = 0; l < kt; ++l) {
+        for (int i = 0; i < mt; ++i)
+            if (A.owner(i, l) == c.rank())
+                for (int r : row_group(g, i))
+                    if (r != c.rank())
+                        task_send_tile(eng, c, A.tile(i, l), r, tag_a(l, i));
+        for (int j = 0; j < nt; ++j)
+            if (B.owner(l, j) == c.rank())
+                for (int r : col_group(g, j))
+                    if (r != c.rank())
+                        task_send_tile(eng, c, B.tile(l, j), r, tag_b(l, j));
+    }
+
+    // Phase 2: receives into per-step staged panels (kept alive past
+    // wait() by this scope).
+    std::vector<std::map<int, detail::Staged<T>>> a_stage(
+        static_cast<size_t>(kt)),
+        b_stage(static_cast<size_t>(kt));
+    for (int l = 0; l < kt; ++l) {
+        for (int i = 0; i < mt; ++i)
+            if (in_group(row_group(g, i), c.rank())
+                && A.owner(i, l) != c.rank())
+                task_recv_tile(eng, c, a_stage[static_cast<size_t>(l)][i],
+                               A.tile_mb(i), A.tile_nb(l), A.owner(i, l),
+                               tag_a(l, i));
+        for (int j = 0; j < nt; ++j)
+            if (in_group(col_group(g, j), c.rank())
+                && B.owner(l, j) != c.rank())
+                task_recv_tile(eng, c, b_stage[static_cast<size_t>(l)][j],
+                               B.tile_mb(l), B.tile_nb(j), B.owner(l, j),
+                               tag_b(l, j));
+    }
+
+    // Phase 3: gemms, reading local tiles or staged buffers.
+    for (int l = 0; l < kt; ++l) {
+        for (int j = 0; j < nt; ++j) {
+            for (int i = 0; i < mt; ++i) {
+                if (!C.is_local(i, j))
+                    continue;
+                Tile<T> ta = A.owner(i, l) == c.rank()
+                                 ? A.tile(i, l)
+                                 : a_stage[static_cast<size_t>(l)][i].tile();
+                Tile<T> tb = B.owner(l, j) == c.rank()
+                                 ? B.tile(l, j)
+                                 : b_stage[static_cast<size_t>(l)][j].tile();
+                auto tc = C.tile(i, j);
+                eng.submit("gemm", 2.0 * tc.mb() * tc.nb() * ta.nb(),
+                           {rt::read(ta.data()), rt::read(tb.data()),
+                            rt::readwrite(tc.data())},
+                           [ta, tb, tc, alpha] {
+                               blas::gemm(Op::NoTrans, Op::NoTrans, alpha, ta,
+                                          tb, T(1), tc);
+                           });
+            }
+        }
+    }
+    eng.wait();
+}
+
+}  // namespace tbp::comm

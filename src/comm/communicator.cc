@@ -8,26 +8,110 @@ void Communicator::push_message(int src, int dst, int tag,
                                 std::vector<std::byte> buf) {
     {
         std::lock_guard<std::mutex> lk(s_->mtx);
+        ++stats_.sends;
+        stats_.bytes_sent += buf.size();
         s_->channels[{src, dst, tag}].messages.push_back(std::move(buf));
     }
     s_->cv.notify_all();
 }
 
-std::vector<std::byte> Communicator::pop_message(int src, int dst, int tag) {
-    std::unique_lock<std::mutex> lk(s_->mtx);
-    auto key = std::make_tuple(src, dst, tag);
-    s_->cv.wait(lk, [&] {
-        auto it = s_->channels.find(key);
-        return it != s_->channels.end() && !it->second.messages.empty();
-    });
-    auto& ch = s_->channels[key];
-    auto buf = std::move(ch.messages.front());
-    ch.messages.pop_front();
-    return buf;
+bool Communicator::progress_locked() {
+    bool any = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        detail::RecvOp& op = **it;
+        auto ch = s_->channels.find(std::make_tuple(op.src, rank_, op.tag));
+        if (ch == s_->channels.end() || ch->second.messages.empty()) {
+            ++it;
+            continue;
+        }
+        auto& msg = ch->second.messages.front();
+        if (op.dyn) {
+            *op.dyn = std::move(msg);
+            stats_.bytes_recv += op.dyn->size();
+        } else {
+            // The message carries its size: a count mismatch between the
+            // send and the posted receive is a program error, not a
+            // truncation.
+            tbp_require(msg.size() == op.bytes);
+            if (!msg.empty())
+                std::memcpy(op.data, msg.data(), msg.size());
+            stats_.bytes_recv += msg.size();
+        }
+        ch->second.messages.pop_front();
+        ++stats_.recvs;
+        op.done = true;
+        any = true;
+        it = pending_.erase(it);
+    }
+    return any;
+}
+
+void Communicator::progress() {
+    bool completed;
+    {
+        std::lock_guard<std::mutex> lk(s_->mtx);
+        completed = progress_locked();
+    }
+    if (completed)
+        s_->cv.notify_all();
+}
+
+void Communicator::post_recv(std::shared_ptr<detail::RecvOp> op) {
+    bool completed;
+    {
+        std::lock_guard<std::mutex> lk(s_->mtx);
+        pending_.push_back(std::move(op));
+        completed = progress_locked();  // the message may already be here
+    }
+    if (completed)
+        s_->cv.notify_all();
+}
+
+void Communicator::recv_bytes(std::byte* data, std::size_t bytes, int src,
+                              int tag) {
+    auto op = std::make_shared<detail::RecvOp>();
+    op->src = src;
+    op->tag = tag;
+    op->data = data;
+    op->bytes = bytes;
+    Timer t;
+    {
+        std::unique_lock<std::mutex> lk(s_->mtx);
+        pending_.push_back(op);
+        s_->cv.wait(lk, [&] {
+            progress_locked();
+            return op->done;
+        });
+        stats_.wait_seconds += t.elapsed();
+    }
+    // Our progress pass may have completed other pending receives that a
+    // different thread of this rank is waiting on.
+    s_->cv.notify_all();
+}
+
+void Communicator::recv_bytes_dyn(std::vector<std::byte>& out, int src,
+                                  int tag) {
+    auto op = std::make_shared<detail::RecvOp>();
+    op->src = src;
+    op->tag = tag;
+    op->dyn = &out;
+    Timer t;
+    {
+        std::unique_lock<std::mutex> lk(s_->mtx);
+        pending_.push_back(op);
+        s_->cv.wait(lk, [&] {
+            progress_locked();
+            return op->done;
+        });
+        stats_.wait_seconds += t.elapsed();
+    }
+    s_->cv.notify_all();
 }
 
 void Communicator::barrier() {
+    Timer t;
     std::unique_lock<std::mutex> lk(s_->mtx);
+    ++stats_.collectives;
     int const sense = s_->barrier_sense;
     if (++s_->barrier_count == s_->nranks) {
         s_->barrier_count = 0;
@@ -35,6 +119,7 @@ void Communicator::barrier() {
         s_->cv.notify_all();
     } else {
         s_->cv.wait(lk, [&] { return s_->barrier_sense != sense; });
+        stats_.wait_seconds += t.elapsed();
     }
 }
 
@@ -42,15 +127,18 @@ World::World(int nranks) : nranks_(nranks) {
     tbp_require(nranks >= 1);
     shared_ = std::make_shared<detail::Shared>();
     shared_->nranks = nranks;
-    shared_->coll_slots.resize(static_cast<size_t>(nranks));
+    shared_->rank_stats.resize(static_cast<std::size_t>(nranks));
 }
 
 void World::run(std::function<void(Communicator&)> const& fn) {
+    shared_->rank_stats.assign(static_cast<std::size_t>(nranks_), CommStats{});
+    leaked_ = 0;
+
     std::vector<std::thread> threads;
     std::mutex err_mtx;
     std::exception_ptr first_error;
 
-    threads.reserve(static_cast<size_t>(nranks_));
+    threads.reserve(static_cast<std::size_t>(nranks_));
     for (int r = 0; r < nranks_; ++r) {
         threads.emplace_back([&, r] {
             Communicator comm(r, shared_);
@@ -61,13 +149,24 @@ void World::run(std::function<void(Communicator&)> const& fn) {
                 if (!first_error)
                     first_error = std::current_exception();
             }
+            // Flush this rank's counters (also on error, so a partial run
+            // still reports what it moved).
+            shared_->rank_stats[static_cast<std::size_t>(r)] = comm.stats();
         });
     }
     for (auto& t : threads)
         t.join();
 
-    // Fresh channel state for the next run.
-    shared_->channels.clear();
+    // Fresh channel state for the next run; count anything left behind so
+    // tests can assert the program matched every send with a receive.
+    {
+        std::lock_guard<std::mutex> lk(shared_->mtx);
+        for (auto const& [key, ch] : shared_->channels)
+            leaked_ += ch.messages.size();
+        shared_->channels.clear();
+        shared_->barrier_count = 0;
+        shared_->barrier_sense = 0;
+    }
 
     if (first_error)
         std::rethrow_exception(first_error);

@@ -3,10 +3,29 @@
 // TBP's stand-in for MPI (no MPI implementation exists in this environment):
 // World spawns P ranks as threads running the same SPMD function, and
 // Communicator gives each rank tagged point-to-point send/recv plus the
-// collectives QDWH's building blocks use — Barrier, Bcast, Allreduce
-// (Algorithm 2 line 8 reduces local column sums with MPI_Allreduce), and
-// Reduce. Semantics follow MPI: sends of trivially-copyable element buffers,
-// FIFO per (src, dst, tag) channel, deterministic rank-ordered reductions.
+// collectives QDWH's building blocks use. Semantics follow MPI: sends of
+// trivially-copyable element buffers are buffered (never block), receives
+// block, FIFO per (src, dst, tag) channel, deterministic reductions.
+//
+// Nonblocking engine: isend/irecv return Request handles with test/wait/
+// wait_all. A posted receive enters the rank's pending queue; the per-rank
+// progress loop (progress(), also run by every test/wait and by blocking
+// receives) matches pending receives against arrived messages in post
+// order, which preserves MPI's posted-receive matching semantics. Sends
+// complete at post time (the transport is buffered), so overlap comes from
+// posting receives early and waiting late — the distributed kernels in
+// dist_algs.hh/dist_qr.hh pipeline their panel broadcasts this way.
+//
+// Tag namespaces: user tags are non-negative (asserted). The library's
+// collectives run in a reserved negative tag space, so internal traffic can
+// never collide with user point-to-point messages.
+//
+// Collectives: binomial-tree bcast/reduce, recursive-doubling and ring
+// (chunk-pipelined) allreduce, allgather(v) — selected per message size via
+// coll::Config (see comm_stats.hh), with the legacy linear/root-bottleneck
+// paths kept selectable as a bitwise reference oracle. Reductions combine
+// contributions in ascending-rank order for every algorithm except Ring,
+// so oracle and engine agree bit-for-bit by default.
 
 #pragma once
 
@@ -21,9 +40,13 @@
 #include <mutex>
 #include <vector>
 
+#include "comm/comm_stats.hh"
 #include "common/error.hh"
+#include "common/timer.hh"
 
 namespace tbp::comm {
+
+class Communicator;
 
 namespace detail {
 
@@ -42,32 +65,74 @@ struct Shared {
     int barrier_count = 0;
     int barrier_sense = 0;
 
-    // Scratch area for collectives (one slot per rank).
-    std::vector<std::vector<std::byte>> coll_slots;
-    int coll_arrivals = 0;
-    int coll_generation = 0;
-
     int nranks = 0;
+
+    coll::Config coll_cfg;              // default config for new Communicators
+    std::vector<CommStats> rank_stats;  // flushed by World::run per rank
+};
+
+/// One posted (pending) receive. Matched against arrived messages by the
+/// owning rank's progress loop, in post order.
+struct RecvOp {
+    int src = -1;
+    int tag = 0;
+    std::byte* data = nullptr;              // fixed-size destination
+    std::size_t bytes = 0;                  // expected payload (fixed mode)
+    std::vector<std::byte>* dyn = nullptr;  // dynamic mode: takes the payload
+    bool done = false;
 };
 
 }  // namespace detail
 
+/// Handle for a nonblocking operation. Default-constructed and isend
+/// requests are already complete. Requests must be completed (test() ==
+/// true or wait()) before the owning Communicator is destroyed.
+class Request {
+public:
+    Request() = default;
+
+    /// Nonblocking completion attempt; runs the progress loop.
+    bool test();
+
+    /// Block until complete; wait time is charged to the rank's counters.
+    void wait();
+
+    bool done() const;
+
+    static void wait_all(Request* rs, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            rs[i].wait();
+    }
+    static void wait_all(std::vector<Request>& rs) {
+        wait_all(rs.data(), rs.size());
+    }
+
+private:
+    friend class Communicator;
+    Request(Communicator* c, std::shared_ptr<detail::RecvOp> op)
+        : comm_(c), op_(std::move(op)) {}
+
+    Communicator* comm_ = nullptr;
+    std::shared_ptr<detail::RecvOp> op_;  // null: already complete (send)
+};
+
 class Communicator {
 public:
     Communicator(int rank, std::shared_ptr<detail::Shared> shared)
-        : rank_(rank), s_(std::move(shared)) {}
+        : rank_(rank), s_(std::move(shared)), cfg_(s_->coll_cfg) {}
 
     int rank() const { return rank_; }
     int size() const { return s_->nranks; }
 
+    // --- point-to-point (user tag space: tag >= 0) ------------------------
+
     /// Blocking tagged send of `count` elements of trivially copyable T.
+    /// Buffered: never blocks. Self-sends (dst == rank()) are legal and are
+    /// received by a later recv/irecv on this rank. count == 0 is legal.
     template <typename T>
     void send(T const* data, std::size_t count, int dst, int tag = 0) {
-        static_assert(std::is_trivially_copyable_v<T>);
-        tbp_require(0 <= dst && dst < size());
-        std::vector<std::byte> buf(count * sizeof(T));
-        std::memcpy(buf.data(), data, buf.size());
-        push_message(rank_, dst, tag, std::move(buf));
+        require_user_tag(tag);
+        send_raw(data, count, dst, tag);
     }
 
     template <typename T>
@@ -75,66 +140,81 @@ public:
         send(v.data(), v.size(), dst, tag);
     }
 
-    /// Blocking tagged receive; message length must equal count elements.
+    /// Blocking tagged receive; the message length must equal `count`
+    /// elements (asserted — the message carries its size).
     template <typename T>
     void recv(T* data, std::size_t count, int src, int tag = 0) {
-        static_assert(std::is_trivially_copyable_v<T>);
-        tbp_require(0 <= src && src < size());
-        auto buf = pop_message(src, rank_, tag);
-        tbp_require(buf.size() == count * sizeof(T));
-        std::memcpy(data, buf.data(), buf.size());
+        require_user_tag(tag);
+        recv_raw(data, count, src, tag);
     }
 
+    /// Blocking receive into a vector. The message length defines the
+    /// element count: a default-constructed vector is resized to fit; a
+    /// non-empty vector must match the message length exactly (asserted).
     template <typename T>
     void recv(std::vector<T>& v, int src, int tag = 0) {
-        recv(v.data(), v.size(), src, tag);
+        require_user_tag(tag);
+        recv_raw_dyn(v, src, tag);
     }
+
+    /// Nonblocking send. The transport is buffered, so the returned request
+    /// is already complete; it exists so call sites read symmetrically and
+    /// keep working if the transport ever becomes truly asynchronous.
+    template <typename T>
+    Request isend(T const* data, std::size_t count, int dst, int tag = 0) {
+        require_user_tag(tag);
+        send_raw(data, count, dst, tag);
+        return Request();
+    }
+
+    /// Nonblocking receive of exactly `count` elements into `data`, which
+    /// must stay valid until the request completes.
+    template <typename T>
+    Request irecv(T* data, std::size_t count, int src, int tag = 0) {
+        require_user_tag(tag);
+        return irecv_raw(data, count, src, tag);
+    }
+
+    /// Nonblocking receive into a pre-sized vector (irecv of v.size()).
+    template <typename T>
+    Request irecv(std::vector<T>& v, int src, int tag = 0) {
+        return irecv(v.data(), v.size(), src, tag);
+    }
+
+    /// Per-rank progress loop: matches pending receives against arrived
+    /// messages (post order). Called implicitly by test/wait and blocking
+    /// receives; safe to call from any thread of this rank.
+    void progress();
 
     /// All ranks synchronize.
     void barrier();
 
+    // --- collectives (algorithm per coll::Config; internal tag space) -----
+
     /// Broadcast `count` elements from root to every rank (in place).
     template <typename T>
-    void bcast(T* data, std::size_t count, int root = 0) {
-        static_assert(std::is_trivially_copyable_v<T>);
-        int const tag = kBcastTag;
-        if (rank_ == root) {
-            for (int r = 0; r < size(); ++r)
-                if (r != root)
-                    send(data, count, r, tag);
-        } else {
-            recv(data, count, root, tag);
-        }
-    }
+    void bcast(T* data, std::size_t count, int root = 0);
 
     template <typename T>
     void bcast(std::vector<T>& v, int root = 0) {
         bcast(v.data(), v.size(), root);
     }
 
-    /// In-place element-wise allreduce with a deterministic rank-ordered
-    /// combine. `op(acc, x)` folds x into acc.
-    template <typename T>
-    void allreduce(T* data, std::size_t count,
-                   std::function<void(T&, T const&)> const& op) {
-        static_assert(std::is_trivially_copyable_v<T>);
-        int const tag = kReduceTag;
-        if (rank_ == 0) {
-            std::vector<T> incoming(count);
-            for (int r = 1; r < size(); ++r) {
-                recv(incoming.data(), count, r, tag);
-                for (std::size_t i = 0; i < count; ++i)
-                    op(data[i], incoming[i]);
-            }
-        } else {
-            send(data, count, 0, tag);
-        }
-        bcast(data, count, 0);
-    }
+    /// Reduce to root with a deterministic ascending-rank-order combine:
+    /// acc starts from rank 0's contribution and op(acc, x) folds x in.
+    /// Every algorithm (Linear, Tree) preserves this order bit-for-bit.
+    template <typename T, typename OpF>
+    void reduce(T* data, std::size_t count, OpF const& op, int root = 0);
+
+    /// In-place element-wise allreduce. Linear/Tree/RecDouble combine in
+    /// ascending-rank order (bitwise-identical across those algorithms);
+    /// Ring re-associates per chunk but is deterministic at fixed P.
+    template <typename T, typename OpF>
+    void allreduce(T* data, std::size_t count, OpF const& op);
 
     template <typename T>
     void allreduce_sum(T* data, std::size_t count) {
-        allreduce<T>(data, count, [](T& a, T const& b) { a += b; });
+        allreduce(data, count, [](T& a, T const& b) { a += b; });
     }
 
     template <typename T>
@@ -144,7 +224,7 @@ public:
 
     template <typename T>
     T allreduce_max(T x) {
-        allreduce<T>(&x, 1, [](T& a, T const& b) {
+        allreduce(&x, std::size_t(1), [](T& a, T const& b) {
             if (b > a)
                 a = b;
         });
@@ -157,15 +237,147 @@ public:
         return x;
     }
 
+    /// Gather `count` elements from every rank into recvbuf (size() * count
+    /// elements, ordered by rank) on every rank.
+    template <typename T>
+    void allgather(T const* sendbuf, std::size_t count, T* recvbuf);
+
+    /// Variable-count allgather: concatenates every rank's vector in rank
+    /// order on every rank. If `counts` is non-null it receives the
+    /// per-rank element counts.
+    template <typename T>
+    std::vector<T> allgatherv(std::vector<T> const& mine,
+                              std::vector<std::size_t>* counts = nullptr);
+
+    // --- configuration and counters ---------------------------------------
+
+    coll::Config const& coll_config() const { return cfg_; }
+
+    /// Set this rank's collective configuration. Must be called with the
+    /// same value on every rank (algorithm selection has to agree).
+    void set_coll_config(coll::Config cfg) { cfg_ = cfg; }
+
+    CommStats stats() const {
+        std::lock_guard<std::mutex> lk(s_->mtx);
+        return stats_;
+    }
+    void reset_stats() {
+        std::lock_guard<std::mutex> lk(s_->mtx);
+        stats_ = CommStats{};
+    }
+
 private:
-    static constexpr int kBcastTag = -1;
-    static constexpr int kReduceTag = -2;
+    friend class Request;
+    friend class World;
+
+    static void require_user_tag(int tag) {
+        // Negative tags are reserved for library-internal collectives.
+        tbp_require(tag >= 0);
+    }
+
+    // Internal-tag transport used by the collective algorithms.
+    template <typename T>
+    void send_i(T const* data, std::size_t count, int dst, int tag) {
+        send_raw(data, count, dst, tag);
+    }
+    template <typename T>
+    void recv_i(T* data, std::size_t count, int src, int tag) {
+        recv_raw(data, count, src, tag);
+    }
+    template <typename T>
+    void recv_i_dyn(std::vector<T>& v, int src, int tag) {
+        recv_raw_dyn(v, src, tag);
+    }
+
+    template <typename T>
+    void send_raw(T const* data, std::size_t count, int dst, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tbp_require(0 <= dst && dst < size());
+        std::vector<std::byte> buf(count * sizeof(T));
+        if (!buf.empty())
+            std::memcpy(buf.data(), data, buf.size());
+        push_message(rank_, dst, tag, std::move(buf));
+    }
+
+    template <typename T>
+    void recv_raw(T* data, std::size_t count, int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tbp_require(0 <= src && src < size());
+        recv_bytes(reinterpret_cast<std::byte*>(data), count * sizeof(T), src,
+                   tag);
+    }
+
+    template <typename T>
+    void recv_raw_dyn(std::vector<T>& v, int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tbp_require(0 <= src && src < size());
+        std::vector<std::byte> raw;
+        recv_bytes_dyn(raw, src, tag);
+        tbp_require(raw.size() % sizeof(T) == 0);
+        std::size_t const count = raw.size() / sizeof(T);
+        if (!v.empty())
+            tbp_require(v.size() == count);  // pre-sized must match
+        v.resize(count);
+        if (!raw.empty())
+            std::memcpy(v.data(), raw.data(), raw.size());
+    }
+
+    template <typename T>
+    Request irecv_raw(T* data, std::size_t count, int src, int tag) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        tbp_require(0 <= src && src < size());
+        auto op = std::make_shared<detail::RecvOp>();
+        op->src = src;
+        op->tag = tag;
+        op->data = reinterpret_cast<std::byte*>(data);
+        op->bytes = count * sizeof(T);
+        post_recv(op);
+        return Request(this, std::move(op));
+    }
 
     void push_message(int src, int dst, int tag, std::vector<std::byte> buf);
-    std::vector<std::byte> pop_message(int src, int dst, int tag);
+    void recv_bytes(std::byte* data, std::size_t bytes, int src, int tag);
+    void recv_bytes_dyn(std::vector<std::byte>& out, int src, int tag);
+    void post_recv(std::shared_ptr<detail::RecvOp> op);
+
+    /// Match pending receives (post order) against arrived messages.
+    /// Caller holds s_->mtx. Returns true if any receive completed.
+    bool progress_locked();
+
+    // Collective algorithm bodies (defined in collectives.hh).
+    template <typename T>
+    void bcast_linear(T* data, std::size_t count, int root);
+    template <typename T>
+    void bcast_tree(T* data, std::size_t count, int root);
+    template <typename T, typename OpF>
+    void reduce_linear(T* data, std::size_t count, OpF const& op, int root);
+    template <typename T, typename OpF>
+    void reduce_tree(T* data, std::size_t count, OpF const& op, int root);
+    template <typename T, typename OpF>
+    void allreduce_recdouble(T* data, std::size_t count, OpF const& op);
+    template <typename T, typename OpF>
+    void allreduce_ring(T* data, std::size_t count, OpF const& op);
+    template <typename T>
+    void allgather_linear(T const* sendbuf, std::size_t count, T* recvbuf);
+    template <typename T>
+    void allgather_tree(T const* sendbuf, std::size_t count, T* recvbuf);
+    template <typename T>
+    void allgather_ring(T const* sendbuf, std::size_t count, T* recvbuf);
+
+    void count_collective() {
+        std::lock_guard<std::mutex> lk(s_->mtx);
+        ++stats_.collectives;
+    }
 
     int rank_;
     std::shared_ptr<detail::Shared> s_;
+    coll::Config cfg_;
+
+    // Pending receives in post order; guarded by s_->mtx (so the progress
+    // loop, blocking receives, and engine-worker comm tasks can share one
+    // Communicator without extra locks).
+    std::deque<std::shared_ptr<detail::RecvOp>> pending_;
+    CommStats stats_;  // guarded by s_->mtx
 };
 
 /// A set of virtual ranks executing an SPMD function on threads.
@@ -175,13 +387,73 @@ public:
 
     int size() const { return nranks_; }
 
+    /// Collective configuration inherited by every Communicator of the next
+    /// run(). coll::Config{.legacy = true} selects the oracle paths.
+    void set_coll_config(coll::Config cfg) { shared_->coll_cfg = cfg; }
+    coll::Config const& coll_config() const { return shared_->coll_cfg; }
+
     /// Run fn(comm) on every rank; returns when all ranks finish.
     /// Rethrows the first exception raised on any rank.
     void run(std::function<void(Communicator&)> const& fn);
 
+    /// Per-rank / aggregate traffic counters of the last run().
+    CommStats stats(int rank) const {
+        tbp_require(0 <= rank && rank < nranks_);
+        return shared_->rank_stats[static_cast<std::size_t>(rank)];
+    }
+    CommStats total_stats() const {
+        CommStats t;
+        for (auto const& s : shared_->rank_stats)
+            t += s;
+        return t;
+    }
+
+    /// Messages left unreceived at the end of the last run() (0 for a
+    /// correctly matched program; nonzero flags a send/recv mismatch).
+    std::uint64_t leaked_messages() const { return leaked_; }
+
 private:
     int nranks_;
+    std::uint64_t leaked_ = 0;
     std::shared_ptr<detail::Shared> shared_;
 };
 
+// --- Request inline bodies (need Communicator) -----------------------------
+
+inline bool Request::test() {
+    if (!op_)
+        return true;
+    if (op_->done)
+        return true;
+    bool completed;
+    {
+        std::lock_guard<std::mutex> lk(comm_->s_->mtx);
+        completed = comm_->progress_locked();
+        if (!op_->done && !completed)
+            return false;
+    }
+    if (completed)
+        comm_->s_->cv.notify_all();  // other waiters may have completed too
+    return op_->done;
+}
+
+inline bool Request::done() const { return !op_ || op_->done; }
+
+inline void Request::wait() {
+    if (!op_ || op_->done)
+        return;
+    Timer t;
+    {
+        std::unique_lock<std::mutex> lk(comm_->s_->mtx);
+        comm_->s_->cv.wait(lk, [&] {
+            comm_->progress_locked();
+            return op_->done;
+        });
+        comm_->stats_.wait_seconds += t.elapsed();
+    }
+    comm_->s_->cv.notify_all();  // progress may have completed other ops
+}
+
 }  // namespace tbp::comm
+
+#include "comm/collectives.hh"

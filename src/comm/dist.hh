@@ -100,6 +100,50 @@ private:
     std::vector<std::vector<T>> local_;  // empty for remote tiles
 };
 
+/// Replicated dense image (column-major, m x n) of a distributed matrix on
+/// every rank: each rank packs its local tiles in global (j, i) order and
+/// one allgatherv exchanges them; every rank re-derives the others' pack
+/// order from the ownership map. Collective — all ranks must call.
+template <typename T>
+std::vector<T> dist_gather(Communicator& comm, DistMatrix<T>& A) {
+    std::vector<T> mine;
+    for (int j = 0; j < A.nt(); ++j)
+        for (int i = 0; i < A.mt(); ++i)
+            if (A.is_local(i, j)) {
+                auto t = A.tile(i, j);
+                for (int cc = 0; cc < t.nb(); ++cc)
+                    for (int rr = 0; rr < t.mb(); ++rr)
+                        mine.push_back(t(rr, cc));
+            }
+
+    std::vector<std::size_t> counts;
+    auto all = comm.allgatherv(mine, &counts);
+
+    std::vector<std::size_t> off(counts.size() + 1, 0);
+    for (std::size_t r = 0; r < counts.size(); ++r)
+        off[r + 1] = off[r] + counts[r];
+
+    auto const m = static_cast<std::size_t>(A.m());
+    std::vector<T> dense(m * static_cast<std::size_t>(A.n()));
+    std::vector<std::size_t> pos(counts.size(), 0);
+    std::int64_t col0 = 0;
+    for (int j = 0; j < A.nt(); ++j) {
+        std::int64_t row0 = 0;
+        for (int i = 0; i < A.mt(); ++i) {
+            auto const r = static_cast<std::size_t>(A.owner(i, j));
+            T const* src = all.data() + off[r] + pos[r];
+            for (int cc = 0; cc < A.tile_nb(j); ++cc)
+                for (int rr = 0; rr < A.tile_mb(i); ++rr)
+                    dense[static_cast<std::size_t>(row0 + rr)
+                          + static_cast<std::size_t>(col0 + cc) * m] = *src++;
+            pos[r] += static_cast<std::size_t>(A.tile_mb(i)) * A.tile_nb(j);
+            row0 += A.tile_mb(i);
+        }
+        col0 += A.tile_nb(j);
+    }
+    return dense;
+}
+
 /// Global column absolute sums: local tile sums + Allreduce (Alg. 2, l. 5-8).
 template <typename T>
 std::vector<real_t<T>> dist_col_abs_sums(Communicator& comm, DistMatrix<T>& A) {

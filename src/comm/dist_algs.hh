@@ -41,13 +41,20 @@ struct Staged {
     Tile<T> tile() { return Tile<T>(buf.data(), mb, nb, mb); }
 };
 
-/// Send tile data to a rank (buffered, non-blocking in this transport).
+/// Pack a tile view into a contiguous column-major buffer.
 template <typename T>
-void send_tile(Communicator& c, Tile<T> t, int dst, int tag) {
+std::vector<T> pack_tile(Tile<T> t) {
     std::vector<T> buf(static_cast<size_t>(t.mb()) * t.nb());
     for (int j = 0; j < t.nb(); ++j)
         for (int i = 0; i < t.mb(); ++i)
             buf[static_cast<size_t>(i) + static_cast<size_t>(j) * t.mb()] = t(i, j);
+    return buf;
+}
+
+/// Send tile data to a rank (buffered, non-blocking in this transport).
+template <typename T>
+void send_tile(Communicator& c, Tile<T> t, int dst, int tag) {
+    auto buf = pack_tile(t);
     c.send(buf, dst, tag);
 }
 
@@ -113,6 +120,81 @@ inline bool in_group(std::vector<int> const& g, int r) {
     return false;
 }
 
+namespace detail {
+
+/// In-flight staged tile: the nonblocking counterpart of stage_tile.
+/// Owner ranks complete at begin (sends are buffered); receivers carry a
+/// posted irecv that ready() resolves. The source tile must stay unmodified
+/// between begin and the matching compute (true for the SUMMA operands:
+/// only C is written while A/B panels are in flight).
+template <typename T>
+struct PendingStage {
+    Staged<T> s;
+    Request req;          // complete for the owner / local copies
+    bool needed = false;  // this rank consumes the tile
+
+    PendingStage() = default;
+    PendingStage(PendingStage&&) = default;
+    PendingStage(PendingStage const&) = delete;
+    PendingStage& operator=(PendingStage const&) = delete;
+
+    // Move assignment must drain the target's own irecv before its buffer
+    // is freed by the vector move — a defaulted member-wise move would
+    // leave the transport writing into freed memory.
+    PendingStage& operator=(PendingStage&& o) {
+        if (this != &o) {
+            req.wait();
+            s = std::move(o.s);
+            req = std::move(o.req);
+            needed = o.needed;
+        }
+        return *this;
+    }
+
+    // The posted irecv targets s.buf, so it must complete before the
+    // buffer dies — even on ranks that staged a tile they end up not
+    // computing with (group membership is per block row/column, not per
+    // local tile). The matching send is unconditional, so this wait
+    // always terminates.
+    ~PendingStage() { req.wait(); }
+
+    Staged<T>& ready() {
+        req.wait();
+        return s;
+    }
+};
+
+}  // namespace detail
+
+/// Nonblocking stage of tile (i, j) of A from its owner to `group`: the
+/// owner isends to every group member and keeps a packed local copy; group
+/// members post an irecv. Call pattern matches stage_tile (same ranks, same
+/// tag); consume via .ready().
+template <typename T>
+detail::PendingStage<T> stage_tile_begin(Communicator& c, DistMatrix<T>& A,
+                                         int i, int j,
+                                         std::vector<int> const& group,
+                                         int tag) {
+    int const owner = A.owner(i, j);
+    detail::PendingStage<T> p;
+    p.needed = in_group(group, c.rank());
+    if (c.rank() == owner) {
+        auto t = A.tile(i, j);
+        p.s.mb = t.mb();
+        p.s.nb = t.nb();
+        p.s.buf = detail::pack_tile(t);
+        for (int r : group)
+            if (r != owner)
+                c.isend(p.s.buf.data(), p.s.buf.size(), r, tag);
+    } else if (p.needed) {
+        p.s.mb = A.tile_mb(i);
+        p.s.nb = A.tile_nb(j);
+        p.s.buf.resize(static_cast<size_t>(p.s.mb) * p.s.nb);
+        p.req = c.irecv(p.s.buf.data(), p.s.buf.size(), owner, tag);
+    }
+    return p;
+}
+
 /// SUMMA: C := alpha A B + beta C (all NoTrans), conforming block-cyclic
 /// distributions on the same grid.
 template <typename T>
@@ -127,38 +209,54 @@ void dist_gemm(Communicator& c, Grid g, T alpha, DistMatrix<T>& A,
             if (C.is_local(i, j))
                 blas::scale(beta, C.tile(i, j));
 
-    int tag = 1 << 20;
-    for (int l = 0; l < kt; ++l) {
-        // Stage the A column panel along process rows and the B row panel
-        // along process columns.
-        std::map<int, detail::Staged<T>> a_stage, b_stage;
+    // Stage the A column panel along process rows and the B row panel along
+    // process columns. Tags are closed-form per step so step l+1's panels
+    // can be posted while step l computes (double-buffered pipeline); the
+    // legacy oracle waits for each panel before touching the next step.
+    struct Step {
+        std::map<int, detail::PendingStage<T>> a, b;
+    };
+    auto stage_step = [&](int l) {
+        int const base = (1 << 20) + l * (mt + nt);
+        Step st;
         for (int i = 0; i < mt; ++i) {
             auto grp = row_group(g, i);
             bool const need = in_group(grp, c.rank());
             if (need || A.owner(i, l) == c.rank()) {
-                auto s = stage_tile(c, A, i, l, grp, tag + i);
+                auto p = stage_tile_begin(c, A, i, l, grp, base + i);
                 if (need)
-                    a_stage[i] = std::move(s);
+                    st.a[i] = std::move(p);
             }
         }
-        tag += mt;
         for (int j = 0; j < nt; ++j) {
             auto grp = col_group(g, j);
             bool const need = in_group(grp, c.rank());
             if (need || B.owner(l, j) == c.rank()) {
-                auto s = stage_tile(c, B, l, j, grp, tag + j);
+                auto p = stage_tile_begin(c, B, l, j, grp, base + mt + j);
                 if (need)
-                    b_stage[j] = std::move(s);
+                    st.b[j] = std::move(p);
             }
         }
-        tag += nt;
+        return st;
+    };
 
+    bool const pipelined = !c.coll_config().legacy;
+    Step cur;
+    if (kt > 0)
+        cur = stage_step(0);
+    for (int l = 0; l < kt; ++l) {
+        Step next;
+        if (pipelined && l + 1 < kt)
+            next = stage_step(l + 1);  // overlap with this step's gemms
         for (int j = 0; j < nt; ++j)
             for (int i = 0; i < mt; ++i)
                 if (C.is_local(i, j))
                     blas::gemm(Op::NoTrans, Op::NoTrans, alpha,
-                               a_stage[i].tile(), b_stage[j].tile(), T(1),
-                               C.tile(i, j));
+                               cur.a[i].ready().tile(),
+                               cur.b[j].ready().tile(), T(1), C.tile(i, j));
+        if (!pipelined && l + 1 < kt)
+            next = stage_step(l + 1);
+        cur = std::move(next);
     }
 }
 
@@ -175,44 +273,62 @@ void dist_herk(Communicator& c, Grid g, real_t<T> alpha, DistMatrix<T>& A,
             if (C.is_local(i, j))
                 blas::scale(from_real<T>(beta), C.tile(i, j));
 
-    int tag = 1 << 21;
-    for (int l = 0; l < kt; ++l) {
-        // C(i, j) += alpha A(l, i)^H A(l, j): tile A(l, i) is needed by the
-        // owners of block row i (as the conj-transposed operand) and tile
-        // A(l, j) by the owners of block column j.
-        std::map<int, detail::Staged<T>> row_stage, col_stage;
+    // C(i, j) += alpha A(l, i)^H A(l, j): tile A(l, i) is needed by the
+    // owners of block row i (as the conj-transposed operand) and tile
+    // A(l, j) by the owners of block column j. A is read-only here, so the
+    // next step's panel broadcast can overlap this step's updates.
+    struct Step {
+        std::map<int, detail::PendingStage<T>> row, col;
+    };
+    auto stage_step = [&](int l) {
+        int const base = (1 << 21) + l * (2 * nt);
+        Step st;
         for (int i = 0; i < nt; ++i) {
             auto grp = row_group(g, i);
-            if (in_group(grp, c.rank()) || A.owner(l, i) == c.rank()) {
-                auto s = stage_tile(c, A, l, i, grp, tag + i);
-                if (in_group(grp, c.rank()))
-                    row_stage[i] = std::move(s);
+            bool const need = in_group(grp, c.rank());
+            if (need || A.owner(l, i) == c.rank()) {
+                auto p = stage_tile_begin(c, A, l, i, grp, base + i);
+                if (need)
+                    st.row[i] = std::move(p);
             }
         }
-        tag += nt;
         for (int j = 0; j < nt; ++j) {
             auto grp = col_group(g, j);
-            if (in_group(grp, c.rank()) || A.owner(l, j) == c.rank()) {
-                auto s = stage_tile(c, A, l, j, grp, tag + j);
-                if (in_group(grp, c.rank()))
-                    col_stage[j] = std::move(s);
+            bool const need = in_group(grp, c.rank());
+            if (need || A.owner(l, j) == c.rank()) {
+                auto p = stage_tile_begin(c, A, l, j, grp, base + nt + j);
+                if (need)
+                    st.col[j] = std::move(p);
             }
         }
-        tag += nt;
+        return st;
+    };
 
+    bool const pipelined = !c.coll_config().legacy;
+    Step cur;
+    if (kt > 0)
+        cur = stage_step(0);
+    for (int l = 0; l < kt; ++l) {
+        Step next;
+        if (pipelined && l + 1 < kt)
+            next = stage_step(l + 1);
         for (int j = 0; j < nt; ++j) {
             for (int i = j; i < nt; ++i) {
                 if (!C.is_local(i, j))
                     continue;
                 if (i == j)
                     blas::herk(Uplo::Lower, Op::ConjTrans, alpha,
-                               col_stage[j].tile(), real_t<T>(1), C.tile(i, j));
+                               cur.col[j].ready().tile(), real_t<T>(1),
+                               C.tile(i, j));
                 else
                     blas::gemm(Op::ConjTrans, Op::NoTrans, from_real<T>(alpha),
-                               row_stage[i].tile(), col_stage[j].tile(), T(1),
-                               C.tile(i, j));
+                               cur.row[i].ready().tile(),
+                               cur.col[j].ready().tile(), T(1), C.tile(i, j));
             }
         }
+        if (!pipelined && l + 1 < kt)
+            next = stage_step(l + 1);
+        cur = std::move(next);
     }
 }
 

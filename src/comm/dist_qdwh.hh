@@ -96,37 +96,55 @@ DistQdwhInfo dist_qdwh(Communicator& c, Grid g, DistMatrix<T>& A, double l0,
                 for (int i = 0; i < mt; ++i)
                     if (A.is_local(i, j))
                         blas::scale(from_real<T>(beta), A.tile(i, j));
-            int tag = tag_base;
-            for (int l = 0; l < nt; ++l) {
-                std::map<int, detail::Staged<T>> q1, q2;
+            // Q is read-only during this SUMMA, so step l+1's panel
+            // broadcasts overlap step l's gemms (same double-buffered
+            // pipeline as dist_gemm; the legacy oracle stays blocking).
+            struct Step {
+                std::map<int, detail::PendingStage<T>> q1, q2;
+            };
+            auto stage_step = [&](int l) {
+                int const base = tag_base + l * (mt + nt);
+                Step st;
                 for (int i = 0; i < mt; ++i) {
                     auto grp = row_group(g, i);
                     bool const need = in_group(grp, c.rank());
                     if (need || Q.owner(i, l) == c.rank()) {
-                        auto s = stage_tile(c, Q, i, l, grp, tag + i);
+                        auto p = stage_tile_begin(c, Q, i, l, grp, base + i);
                         if (need)
-                            q1[i] = std::move(s);
+                            st.q1[i] = std::move(p);
                     }
                 }
-                tag += mt;
                 for (int j = 0; j < nt; ++j) {
                     auto grp = col_group(g, j);
                     bool const need = in_group(grp, c.rank());
                     if (need || Q.owner(mt + j, l) == c.rank()) {
-                        auto s = stage_tile(c, Q, mt + j, l, grp, tag + j);
+                        auto p = stage_tile_begin(c, Q, mt + j, l, grp,
+                                                  base + mt + j);
                         if (need)
-                            q2[j] = std::move(s);
+                            st.q2[j] = std::move(p);
                     }
                 }
-                tag += nt;
+                return st;
+            };
+            bool const pipelined = !c.coll_config().legacy;
+            Step cur = stage_step(0);
+            for (int l = 0; l < nt; ++l) {
+                Step next;
+                if (pipelined && l + 1 < nt)
+                    next = stage_step(l + 1);
                 for (int j = 0; j < nt; ++j)
                     for (int i = 0; i < mt; ++i)
                         if (A.is_local(i, j))
                             blas::gemm(Op::NoTrans, Op::ConjTrans,
-                                       from_real<T>(theta), q1[i].tile(),
-                                       q2[j].tile(), T(1), A.tile(i, j));
+                                       from_real<T>(theta),
+                                       cur.q1[i].ready().tile(),
+                                       cur.q2[j].ready().tile(), T(1),
+                                       A.tile(i, j));
+                if (!pipelined && l + 1 < nt)
+                    next = stage_step(l + 1);
+                cur = std::move(next);
             }
-            tag_base = tag;
+            tag_base += nt * (mt + nt);
         } else {
             // --- Cholesky-based iteration (Eq. 2) ---------------------------
             dist_set_identity(Z);

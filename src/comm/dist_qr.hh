@@ -163,67 +163,95 @@ void dist_ungqr(Communicator& c, Grid g, DistMatrix<T>& A, DistMatrix<T>& Tmat,
     tbp_require(Q.mt() == mt && Q.nt() == A.nt());
     dist_set_identity(Q);
 
-    int tag = 1 << 25;
-    for (int k = nt - 1; k >= 0; --k) {
-        int const nbk = A.tile_nb(k);
-        for (int i = mt - 1; i > k; --i) {
-            // Broadcast V2/T to the rows involved, then pairwise tsmqr.
-            auto gi = row_group(g, i);
-            auto gk = row_group(g, k);
-            std::vector<int> grp = gi;
-            for (int r : gk)
-                if (!in_group(grp, r))
-                    grp.push_back(r);
-            detail::Staged<T> v2, ti;
-            {
-                bool const need = in_group(grp, c.rank());
-                if (need || A.owner(i, k) == c.rank()) {
-                    auto s = stage_tile(c, A, i, k, grp, tag);
-                    if (need)
-                        v2 = std::move(s);
-                    auto s2 = stage_tile(c, Tmat, i, k, grp, tag + 1);
-                    if (need)
-                        ti = std::move(s2);
-                }
-                tag += 2;
+    // Deterministic application schedule: for k descending, the pairwise
+    // tsmqr blocks (i = mt-1 .. k+1), then the diagonal unmqr block
+    // (recorded as i == k). Tags are assigned in schedule order up front so
+    // every rank agrees and the next entry's broadcast can be posted early.
+    struct Entry {
+        int k, i;
+        int stage_tag;   // V/T broadcast: stage_tag, stage_tag + 1
+        int borrow_tag;  // first pairwise exchange tag (pair entries)
+    };
+    std::vector<Entry> sched;
+    {
+        int tag = 1 << 25;
+        for (int k = nt - 1; k >= 0; --k) {
+            for (int i = mt - 1; i > k; --i) {
+                sched.push_back({k, i, tag, tag + 2});
+                tag += 2 + 2 * (Q.nt() - k);
             }
-            for (int j = k; j < Q.nt(); ++j) {
-                int const runner = Q.owner(i, j);
-                bool const involved =
-                    c.rank() == runner || c.rank() == Q.owner(k, j);
-                if (involved) {
-                    detail::borrow_tile(
-                        c, Q, k, j, runner, tag, [&](Tile<T> c1) {
-                            auto tt = ti.tile().sub(0, 0, nbk, nbk);
-                            blas::tsmqr(Op::NoTrans, v2.tile(), tt, c1,
-                                        Q.tile(i, j));
-                        });
-                }
-                tag += 2;
-            }
-        }
-        // geqrt block: broadcast V(k,k)/T(k,k) along row k, apply NoTrans.
-        auto rk = row_group(g, k);
-        detail::Staged<T> vkk, tkk;
-        {
-            bool const need = in_group(rk, c.rank());
-            if (need || A.owner(k, k) == c.rank()) {
-                auto s = stage_tile(c, A, k, k, rk, tag);
-                if (need)
-                    vkk = std::move(s);
-                auto s2 = stage_tile(c, Tmat, k, k, rk, tag + 1);
-                if (need)
-                    tkk = std::move(s2);
-            }
+            sched.push_back({k, k, tag, 0});
             tag += 2;
         }
-        for (int j = k; j < Q.nt(); ++j) {
-            if (Q.is_local(k, j)) {
-                int const kk = std::min(vkk.mb, nbk);
-                auto tt = tkk.tile().sub(0, 0, kk, kk);
-                blas::unmqr(Op::NoTrans, vkk.tile(), tt, Q.tile(k, j));
+    }
+
+    // A and Tmat are read-only below (only Q is written), so entry e+1's
+    // V/T broadcast legally overlaps entry e's reflector applications.
+    // The legacy oracle stages each entry on demand instead.
+    using VT = std::pair<detail::PendingStage<T>, detail::PendingStage<T>>;
+    auto stage_entry = [&](Entry const& en) {
+        std::vector<int> grp = row_group(g, en.k);
+        if (en.i != en.k) {
+            auto gi = row_group(g, en.i);
+            for (int r : grp)
+                if (!in_group(gi, r))
+                    gi.push_back(r);
+            grp = std::move(gi);
+        }
+        VT vt;
+        bool const need = in_group(grp, c.rank());
+        if (need || A.owner(en.i, en.k) == c.rank()) {
+            auto p = stage_tile_begin(c, A, en.i, en.k, grp, en.stage_tag);
+            auto p2 =
+                stage_tile_begin(c, Tmat, en.i, en.k, grp, en.stage_tag + 1);
+            if (need) {
+                vt.first = std::move(p);
+                vt.second = std::move(p2);
             }
         }
+        return vt;
+    };
+
+    bool const pipelined = !c.coll_config().legacy;
+    VT cur;
+    if (!sched.empty())
+        cur = stage_entry(sched[0]);
+    for (std::size_t e = 0; e < sched.size(); ++e) {
+        VT next;
+        if (pipelined && e + 1 < sched.size())
+            next = stage_entry(sched[e + 1]);
+        Entry const& en = sched[e];
+        int const nbk = A.tile_nb(en.k);
+        if (en.i != en.k) {
+            int btag = en.borrow_tag;
+            for (int j = en.k; j < Q.nt(); ++j) {
+                int const runner = Q.owner(en.i, j);
+                bool const involved =
+                    c.rank() == runner || c.rank() == Q.owner(en.k, j);
+                if (involved) {
+                    detail::borrow_tile(
+                        c, Q, en.k, j, runner, btag, [&](Tile<T> c1) {
+                            auto tt =
+                                cur.second.ready().tile().sub(0, 0, nbk, nbk);
+                            blas::tsmqr(Op::NoTrans, cur.first.ready().tile(),
+                                        tt, c1, Q.tile(en.i, j));
+                        });
+                }
+                btag += 2;
+            }
+        } else {
+            for (int j = en.k; j < Q.nt(); ++j) {
+                if (Q.is_local(en.k, j)) {
+                    int const kk = std::min(cur.first.ready().mb, nbk);
+                    auto tt = cur.second.ready().tile().sub(0, 0, kk, kk);
+                    blas::unmqr(Op::NoTrans, cur.first.ready().tile(), tt,
+                                Q.tile(en.k, j));
+                }
+            }
+        }
+        if (!pipelined && e + 1 < sched.size())
+            next = stage_entry(sched[e + 1]);
+        cur = std::move(next);
     }
 }
 

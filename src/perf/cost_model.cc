@@ -5,6 +5,192 @@
 
 namespace tbp::perf {
 
+namespace {
+
+int floor_pow2(int n) {
+    int p = 1;
+    while (p * 2 <= n)
+        p *= 2;
+    return p;
+}
+
+/// Accumulates per-rank message traffic for one simulated collective.
+struct VolumeSim {
+    std::vector<std::uint64_t> sends;
+    std::vector<std::uint64_t> rank_bytes;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::size_t elem = 0;
+
+    VolumeSim(int P, std::size_t elem_bytes)
+        : sends(static_cast<std::size_t>(P)),
+          rank_bytes(static_cast<std::size_t>(P)), elem(elem_bytes) {}
+
+    void add(int from, std::size_t elems) {
+        ++messages;
+        bytes += elems * elem;
+        ++sends[static_cast<std::size_t>(from)];
+        rank_bytes[static_cast<std::size_t>(from)] += elems * elem;
+    }
+
+    CollVolume result() const {
+        CollVolume v;
+        v.messages = messages;
+        v.bytes = bytes;
+        for (auto s : sends)
+            v.max_rank_sends = std::max(v.max_rank_sends, s);
+        for (auto b : rank_bytes)
+            v.max_rank_bytes = std::max(v.max_rank_bytes, b);
+        return v;
+    }
+};
+
+// The sim_* helpers replay the exact loop structure of the algorithms in
+// comm/collectives.hh (virtual-rank space; root rotation is a bijection, so
+// counts are root-invariant).
+
+void sim_bcast_linear(VolumeSim& v, int P, std::size_t count) {
+    for (int r = 1; r < P; ++r)
+        v.add(0, count);
+}
+
+void sim_bcast_tree(VolumeSim& v, int P, std::size_t count) {
+    for (int vr = 0; vr < P; ++vr) {
+        int mask = 1;
+        while (mask < P) {
+            if (vr & mask)
+                break;
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while (mask > 0) {
+            if (vr + mask < P)
+                v.add(vr, count);
+            mask >>= 1;
+        }
+    }
+}
+
+void sim_reduce_linear(VolumeSim& v, int P, std::size_t count) {
+    for (int r = 1; r < P; ++r)
+        v.add(r, count);
+}
+
+void sim_reduce_tree(VolumeSim& v, int P, std::size_t count) {
+    // Each non-root virtual rank sends its whole subtree buffer once:
+    // min(lowbit(vr), P - vr) blocks.
+    for (int vr = 1; vr < P; ++vr) {
+        int const lowbit = vr & (-vr);
+        auto const blocks =
+            static_cast<std::size_t>(std::min(lowbit, P - vr));
+        v.add(vr, blocks * count);
+    }
+}
+
+void sim_allreduce_recdouble(VolumeSim& v, int P, std::size_t count) {
+    int const pow2 = floor_pow2(P);
+    int const rem = P - pow2;
+    for (int r = 0; r < 2 * rem; r += 2)
+        v.add(r + 1, count);  // passive odd ranks contribute
+    std::vector<std::size_t> blocks(static_cast<std::size_t>(pow2));
+    for (int e = 0; e < pow2; ++e)
+        blocks[static_cast<std::size_t>(e)] = e < rem ? 2 : 1;
+    for (int mask = 1; mask < pow2; mask <<= 1) {
+        auto const prev = blocks;
+        for (int e = 0; e < pow2; ++e) {
+            int const orig = e < rem ? 2 * e : e + rem;
+            v.add(orig, prev[static_cast<std::size_t>(e)] * count);
+            blocks[static_cast<std::size_t>(e)] =
+                prev[static_cast<std::size_t>(e)]
+                + prev[static_cast<std::size_t>(e ^ mask)];
+        }
+    }
+    for (int r = 0; r < 2 * rem; r += 2)
+        v.add(r, count);  // results shipped back
+}
+
+void sim_allreduce_ring(VolumeSim& v, int P, std::size_t count) {
+    auto lo = [&](int c) {
+        return count * static_cast<std::size_t>(c)
+               / static_cast<std::size_t>(P);
+    };
+    for (int phase = 0; phase < 2; ++phase) {
+        for (int s = 0; s < P - 1; ++s) {
+            for (int me = 0; me < P; ++me) {
+                int const sc = phase == 0 ? (me - s + P) % P
+                                          : (me + 1 - s + P) % P;
+                v.add(me, lo(sc + 1) - lo(sc));
+            }
+        }
+    }
+}
+
+void sim_allgather_linear(VolumeSim& v, int P, std::size_t count) {
+    for (int me = 0; me < P; ++me)
+        for (int r = 1; r < P; ++r)
+            v.add(me, count);
+}
+
+void sim_allgather_ring(VolumeSim& v, int P, std::size_t count) {
+    for (int s = 0; s < P - 1; ++s)
+        for (int me = 0; me < P; ++me)
+            v.add(me, count);
+}
+
+}  // namespace
+
+CollVolume collective_volume(CollKind kind, comm::coll::Algo algo, int nranks,
+                             std::size_t count, std::size_t elem_bytes) {
+    using comm::coll::Algo;
+    VolumeSim v(nranks, elem_bytes);
+    if (nranks <= 1)
+        return v.result();
+    switch (kind) {
+        case CollKind::Bcast:
+            if (algo == Algo::Linear)
+                sim_bcast_linear(v, nranks, count);
+            else
+                sim_bcast_tree(v, nranks, count);
+            break;
+        case CollKind::Reduce:
+            if (algo == Algo::Linear)
+                sim_reduce_linear(v, nranks, count);
+            else
+                sim_reduce_tree(v, nranks, count);
+            break;
+        case CollKind::Allreduce:
+            switch (algo) {
+                case Algo::Linear:
+                    sim_reduce_linear(v, nranks, count);
+                    sim_bcast_linear(v, nranks, count);
+                    break;
+                case Algo::RecDouble:
+                    sim_allreduce_recdouble(v, nranks, count);
+                    break;
+                case Algo::Ring:
+                    sim_allreduce_ring(v, nranks, count);
+                    break;
+                default:
+                    sim_reduce_tree(v, nranks, count);
+                    sim_bcast_tree(v, nranks, count);
+                    break;
+            }
+            break;
+        case CollKind::Allgather:
+            if (algo == Algo::Linear) {
+                sim_allgather_linear(v, nranks, count);
+            } else if (algo == Algo::Ring) {
+                sim_allgather_ring(v, nranks, count);
+            } else {
+                sim_reduce_tree(v, nranks, count);  // gather = same shape
+                sim_bcast_tree(v, nranks,
+                               static_cast<std::size_t>(nranks) * count);
+            }
+            break;
+    }
+    return v.result();
+}
+
 int CostModel::total_devices() const {
     return dev_ == Device::Gpu ? m_.nodes * m_.gpus : m_.nodes;
 }

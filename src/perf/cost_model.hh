@@ -22,9 +22,39 @@
 #include <string>
 #include <vector>
 
+#include "comm/comm_stats.hh"
 #include "perf/machine.hh"
 
 namespace tbp::perf {
+
+/// Collective operation shapes whose communication volume the model
+/// predicts (mirroring the algorithms in comm/collectives.hh exactly).
+enum class CollKind { Bcast, Reduce, Allreduce, Allgather };
+
+/// Predicted aggregate traffic of one collective across all ranks.
+struct CollVolume {
+    std::uint64_t messages = 0;  ///< point-to-point messages, all ranks
+    std::uint64_t bytes = 0;     ///< payload bytes, all ranks
+
+    /// Largest per-rank send count — the root/ring bottleneck the
+    /// algorithmic collectives exist to remove (linear bcast: P-1 at the
+    /// root; tree: ceil(log2 P)).
+    std::uint64_t max_rank_sends = 0;
+
+    /// Largest per-rank outgoing byte count — the bandwidth bottleneck;
+    /// ring's chunking wins here (~2n/P per rank vs the linear root's
+    /// (P-1) n) even though its message count is higher.
+    std::uint64_t max_rank_bytes = 0;
+};
+
+/// Exact communication volume of a collective as implemented in
+/// comm/collectives.hh: the predictors replay the algorithm loop structure,
+/// so measured CommStats totals from a single collective must match them
+/// exactly (tested). `algo` must be concrete (resolve Auto via
+/// comm::coll::resolve_* first); `count` is elements per rank and
+/// `elem_bytes` the scalar size.
+CollVolume collective_volume(CollKind kind, comm::coll::Algo algo, int nranks,
+                             std::size_t count, std::size_t elem_bytes);
 
 enum class Schedule { TaskDataflow, ForkJoin };
 

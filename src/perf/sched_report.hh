@@ -12,11 +12,64 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "comm/communicator.hh"
 #include "runtime/engine.hh"
 #include "runtime/trace_analysis.hh"
 
 namespace tbp::perf {
+
+/// Measured communication-engine counters of one World::run, the comm
+/// counterpart of SchedReport: per-rank and aggregate message/byte/wait
+/// figures that benches and the driver print next to the cost model's
+/// collective_volume predictions.
+struct CommReport {
+    std::vector<comm::CommStats> per_rank;
+    comm::CommStats total;
+    std::uint64_t leaked = 0;  ///< unmatched messages (0 for a correct run)
+
+    /// Largest per-rank send count — the measured bottleneck metric that
+    /// collective_volume's max_rank_sends predicts.
+    std::uint64_t max_rank_sends() const {
+        std::uint64_t m = 0;
+        for (auto const& s : per_rank)
+            m = std::max(m, s.sends);
+        return m;
+    }
+
+    /// Largest per-rank outgoing byte count (collective_volume's
+    /// max_rank_bytes — the bandwidth bottleneck).
+    std::uint64_t max_rank_bytes() const {
+        std::uint64_t m = 0;
+        for (auto const& s : per_rank)
+            m = std::max(m, s.bytes_sent);
+        return m;
+    }
+
+    std::string format() const {
+        std::ostringstream os;
+        os << "comm report: " << per_rank.size() << " ranks\n"
+           << "  messages " << total.sends << " (max/rank "
+           << max_rank_sends() << "), bytes " << total.bytes_sent
+           << ", collectives " << total.collectives << "\n"
+           << "  wait " << total.wait_seconds << " rank-seconds";
+        if (leaked)
+            os << ", LEAKED " << leaked << " messages";
+        os << "\n";
+        return os.str();
+    }
+};
+
+/// Snapshot the traffic counters of the last World::run.
+inline CommReport comm_report(comm::World const& world) {
+    CommReport r;
+    for (int rank = 0; rank < world.size(); ++rank)
+        r.per_rank.push_back(world.stats(rank));
+    r.total = world.total_stats();
+    r.leaked = world.leaked_messages();
+    return r;
+}
 
 struct SchedReport {
     rt::DagStats dag;                  ///< schedule-independent DAG stats

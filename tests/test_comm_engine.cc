@@ -1,0 +1,226 @@
+// Comm/compute integration: the pipelined (nonblocking) staging paths and
+// the task-runtime communication tasks must reproduce the legacy blocking
+// oracle bit-for-bit — same kernels, same values, same combine order — for
+// every scalar type and a sweep of process grids, while the traffic
+// counters stay leak-free.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+
+#include "comm/comm_task.hh"
+#include "comm/dist_qdwh.hh"
+#include "comm/dist_qr.hh"
+#include "gen/matgen.hh"
+#include "perf/sched_report.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+namespace {
+
+std::vector<std::pair<int, int>> const kGrids = {
+    {1, 1}, {2, 1}, {3, 1}, {2, 2}, {4, 2}};  // P = 1, 2, 3, 4, 8
+
+comm::coll::Config engine_cfg() { return comm::coll::Config{}; }
+
+comm::coll::Config legacy_cfg() {
+    comm::coll::Config cfg;
+    cfg.legacy = true;
+    return cfg;
+}
+
+/// Byte-exact comparison that treats NaN == NaN (there are none in these
+/// runs, but equality on floats is the point of the test).
+template <typename T>
+bool bits_equal(std::vector<T> const& a, std::vector<T> const& b) {
+    return a.size() == b.size()
+           && (a.empty()
+               || std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// Full distributed QDWH under `cfg`; returns rank 0's gathered U.
+template <typename T>
+std::vector<T> run_dqdwh(ref::Dense<T> const& Ad, int nb, Grid g,
+                         comm::coll::Config cfg, double l0) {
+    comm::World world(g.size());
+    world.set_coll_config(cfg);
+    std::vector<T> out;
+    world.run([&](comm::Communicator& c) {
+        comm::DistMatrix<T> A(c, Ad.m(), Ad.n(), nb, g);
+        A.fill([&](std::int64_t i, std::int64_t j) { return Ad(i, j); });
+        comm::dist_qdwh(c, g, A, l0);
+        auto d = comm::dist_gather(c, A);
+        if (c.rank() == 0)
+            out = d;
+    });
+    EXPECT_EQ(world.leaked_messages(), 0u);
+    return out;
+}
+
+/// dist_geqrf + dist_ungqr under `cfg`; returns rank 0's gathered Q.
+template <typename T>
+std::vector<T> run_qr(ref::Dense<T> const& Ad, int nb, Grid g,
+                      comm::coll::Config cfg) {
+    comm::World world(g.size());
+    world.set_coll_config(cfg);
+    std::vector<T> out;
+    world.run([&](comm::Communicator& c) {
+        comm::DistMatrix<T> A(c, Ad.m(), Ad.n(), nb, g);
+        comm::DistMatrix<T> Tm(c, static_cast<std::int64_t>(A.mt()) * nb,
+                               Ad.n(), nb, g);
+        comm::DistMatrix<T> Q(c, Ad.m(), Ad.n(), nb, g);
+        A.fill([&](std::int64_t i, std::int64_t j) { return Ad(i, j); });
+        comm::dist_geqrf(c, g, A, Tm);
+        comm::dist_ungqr(c, g, A, Tm, Q);
+        auto d = comm::dist_gather(c, Q);
+        if (c.rank() == 0)
+            out = d;
+    });
+    EXPECT_EQ(world.leaked_messages(), 0u);
+    return out;
+}
+
+template <typename T>
+void check_qdwh_engine_vs_legacy() {
+    int const n = 16, nb = 4;
+    gen::MatGenOptions opt;
+    opt.cond = 1e4;  // engages the QR branch before the Cholesky branch
+    opt.seed = 611;
+    rt::Engine eng(2);
+    auto Ad = ref::to_dense(gen::cond_matrix<T>(eng, n, n, nb, opt));
+    double const l0 = 1.0 / opt.cond;
+
+    for (auto [p, q] : kGrids) {
+        Grid g{p, q};
+        auto legacy = run_dqdwh(Ad, nb, g, legacy_cfg(), l0);
+        auto engine = run_dqdwh(Ad, nb, g, engine_cfg(), l0);
+        EXPECT_TRUE(bits_equal(legacy, engine)) << p << "x" << q;
+    }
+}
+
+}  // namespace
+
+TEST(CommEngine, QdwhBitIdenticalFloat) {
+    check_qdwh_engine_vs_legacy<float>();
+}
+TEST(CommEngine, QdwhBitIdenticalDouble) {
+    check_qdwh_engine_vs_legacy<double>();
+}
+TEST(CommEngine, QdwhBitIdenticalComplexFloat) {
+    check_qdwh_engine_vs_legacy<std::complex<float>>();
+}
+TEST(CommEngine, QdwhBitIdenticalComplexDouble) {
+    check_qdwh_engine_vs_legacy<std::complex<double>>();
+}
+
+TEST(CommEngine, QrPipelineBitIdentical) {
+    using T = double;
+    int const m = 24, n = 16, nb = 4;
+    auto Ad = ref::random_dense<T>(m, n, 612);
+    for (auto [p, q] : kGrids) {
+        Grid g{p, q};
+        auto legacy = run_qr(Ad, nb, g, legacy_cfg());
+        auto engine = run_qr(Ad, nb, g, engine_cfg());
+        EXPECT_TRUE(bits_equal(legacy, engine)) << p << "x" << q;
+    }
+}
+
+TEST(CommEngine, GemmTasksMatchSpmdBitwise) {
+    // The engine-task SUMMA (sends/recvs/gemms as dataflow tasks) must
+    // reproduce the blocking SPMD dist_gemm exactly — same accumulation
+    // order — at every worker count, including the sequential engine.
+    using T = double;
+    int const m = 18, k = 14, n = 11, nb = 4;
+    auto Da = ref::random_dense<T>(m, k, 613);
+    auto Db = ref::random_dense<T>(k, n, 614);
+    auto Dc = ref::random_dense<T>(m, n, 615);
+
+    for (auto [p, q] : {std::pair{2, 2}, {3, 1}}) {
+        Grid g{p, q};
+
+        std::vector<T> ref_c;
+        {
+            comm::World world(g.size());
+            world.run([&](comm::Communicator& c) {
+                comm::DistMatrix<T> A(c, m, k, nb, g), B(c, k, n, nb, g),
+                    C(c, m, n, nb, g);
+                A.fill([&](std::int64_t i, std::int64_t j) { return Da(i, j); });
+                B.fill([&](std::int64_t i, std::int64_t j) { return Db(i, j); });
+                C.fill([&](std::int64_t i, std::int64_t j) { return Dc(i, j); });
+                comm::dist_gemm(c, g, T(2), A, B, T(-1), C);
+                auto d = comm::dist_gather(c, C);
+                if (c.rank() == 0)
+                    ref_c = d;
+            });
+        }
+
+        struct EngCase {
+            int workers;
+            rt::Mode mode;
+        };
+        for (auto ec : {EngCase{1, rt::Mode::Sequential},
+                        EngCase{1, rt::Mode::TaskDataflow},
+                        EngCase{2, rt::Mode::TaskDataflow}}) {
+            comm::World world(g.size());
+            std::vector<T> task_c;
+            world.run([&](comm::Communicator& c) {
+                rt::Engine eng(ec.workers, ec.mode);
+                comm::DistMatrix<T> A(c, m, k, nb, g), B(c, k, n, nb, g),
+                    C(c, m, n, nb, g);
+                A.fill([&](std::int64_t i, std::int64_t j) { return Da(i, j); });
+                B.fill([&](std::int64_t i, std::int64_t j) { return Db(i, j); });
+                C.fill([&](std::int64_t i, std::int64_t j) { return Dc(i, j); });
+                comm::dist_gemm_tasks(c, eng, g, T(2), A, B, T(-1), C);
+                auto d = comm::dist_gather(c, C);
+                if (c.rank() == 0)
+                    task_c = d;
+            });
+            EXPECT_EQ(world.leaked_messages(), 0u);
+            EXPECT_TRUE(bits_equal(ref_c, task_c))
+                << p << "x" << q << " workers=" << ec.workers;
+        }
+    }
+}
+
+TEST(CommEngine, DistGatherMatchesFill) {
+    // dist_gather's allgatherv-based replication must reproduce the source
+    // element function exactly on every rank, for awkward tile remainders.
+    using T = double;
+    int const m = 19, n = 13, nb = 4;
+    auto D = ref::random_dense<T>(m, n, 616);
+    Grid g{3, 2};
+    comm::World world(6);
+    std::vector<std::vector<T>> per_rank(6);
+    world.run([&](comm::Communicator& c) {
+        comm::DistMatrix<T> A(c, m, n, nb, g);
+        A.fill([&](std::int64_t i, std::int64_t j) { return D(i, j); });
+        per_rank[static_cast<size_t>(c.rank())] = comm::dist_gather(c, A);
+    });
+    for (int r = 0; r < 6; ++r) {
+        auto const& d = per_rank[static_cast<size_t>(r)];
+        ASSERT_EQ(d.size(), static_cast<size_t>(m) * n);
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i < m; ++i)
+                ASSERT_EQ(d[static_cast<size_t>(i + j * m)], D(i, j))
+                    << r << " " << i << "," << j;
+    }
+}
+
+TEST(CommEngine, CommReportAggregates) {
+    comm::World world(4);
+    world.run([&](comm::Communicator& c) {
+        std::vector<double> v(8, c.rank() + 1.0);
+        c.allreduce_sum(v);
+        c.barrier();
+    });
+    auto rep = perf::comm_report(world);
+    EXPECT_EQ(rep.per_rank.size(), 4u);
+    EXPECT_EQ(rep.total.sends, rep.total.recvs);
+    EXPECT_GT(rep.total.sends, 0u);
+    EXPECT_GE(rep.total.collectives, 8u);  // allreduce + barrier per rank
+    EXPECT_EQ(rep.leaked, 0u);
+    EXPECT_FALSE(rep.format().empty());
+}

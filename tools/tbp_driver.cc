@@ -22,9 +22,11 @@
 #include <string>
 
 #include "blas/kernel/stats.hh"
+#include "comm/dist_qdwh.hh"
 #include "common/timer.hh"
 #include "core/baselines.hh"
 #include "perf/qdwh_model.hh"
+#include "perf/sched_report.hh"
 #include "core/qdwh.hh"
 #include "core/qdwh_mixed.hh"
 #include "core/qdwh_svd.hh"
@@ -50,17 +52,33 @@ struct Args {
     std::uint64_t seed = 42;
     int r = 8;
     bool verbose = false;
+    int ranks = 4;             // --algo dqdwh: virtual ranks
+    int gp = 0, gq = 0;        // process grid (0 -> auto near-square)
+    std::string comm = "engine";  // engine | legacy | ring
 };
 
 [[noreturn]] void usage(char const* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--algo qdwh|zolo|mixed|newton|svdpd|svd] [--m M] "
-                 "[--n N]\n"
+                 "usage: %s [--algo qdwh|zolo|mixed|newton|svdpd|svd|dqdwh] "
+                 "[--m M] [--n N]\n"
                  "          [--nb NB] [--cond K] [--dist geom|arith|cluster|"
                  "loguni]\n"
                  "          [--type s|d|c|z] [--mode task|forkjoin|seq] "
                  "[--sched steal|global]\n"
-                 "          [--threads T] [--seed S] [--r R] [--verbose]\n",
+                 "          [--threads T] [--seed S] [--r R] [--verbose]\n"
+                 "          [--ranks P] [--grid PxQ] [--comm engine|legacy|"
+                 "ring]\n"
+                 "\n"
+                 "  --algo dqdwh runs the distributed QDWH over P virtual "
+                 "ranks.\n"
+                 "  --comm selects the collective algorithms: 'engine' "
+                 "(tree/recursive-\n"
+                 "  doubling, pipelined staging), 'legacy' (linear reference "
+                 "oracle —\n"
+                 "  results must be bit-identical to engine), 'ring' "
+                 "(bandwidth-optimal\n"
+                 "  allreduce; re-associates, deterministic only at fixed "
+                 "P).\n",
                  argv0);
     std::exit(2);
 }
@@ -110,6 +128,19 @@ Args parse(int argc, char** argv) {
             a.r = std::atoi(need("--r"));
         } else if (!std::strcmp(argv[i], "--verbose")) {
             a.verbose = true;
+        } else if (!std::strcmp(argv[i], "--ranks")) {
+            a.ranks = std::atoi(need("--ranks"));
+        } else if (!std::strcmp(argv[i], "--grid")) {
+            if (std::sscanf(need("--grid"), "%dx%d", &a.gp, &a.gq) != 2) {
+                std::fprintf(stderr, "--grid wants PxQ, e.g. 2x2\n");
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(argv[i], "--comm")) {
+            a.comm = need("--comm");
+            if (a.comm != "engine" && a.comm != "legacy" && a.comm != "ring") {
+                std::fprintf(stderr, "unknown --comm %s\n", a.comm.c_str());
+                usage(argv[0]);
+            }
         } else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             usage(argv[0]);
@@ -120,6 +151,15 @@ Args parse(int argc, char** argv) {
     if (a.m < a.n) {
         std::fprintf(stderr, "require m >= n\n");
         std::exit(2);
+    }
+    if (a.gp == 0) {
+        // Near-square grid: largest divisor of P not above sqrt(P).
+        for (int p = 1; p * p <= a.ranks; ++p)
+            if (a.ranks % p == 0)
+                a.gp = p;
+        a.gq = a.ranks / a.gp;
+    } else if (a.gp * a.gq != a.ranks) {
+        a.ranks = a.gp * a.gq;  // an explicit grid defines the rank count
     }
     return a;
 }
@@ -258,10 +298,97 @@ int run_dense(Args const& a) {
     return 0;
 }
 
+/// Distributed QDWH over virtual ranks: the whole solve runs SPMD inside
+/// World::run; afterwards the measured comm-engine counters are printed next
+/// to the cost model's collective_volume prediction for the dominant
+/// allreduce shape.
+template <typename T>
+int run_dist(Args const& a) {
+    if (a.m % a.nb != 0) {
+        std::fprintf(stderr, "dqdwh requires m %% nb == 0\n");
+        return 2;
+    }
+    rt::Engine eng(a.threads);
+    gen::MatGenOptions opt;
+    opt.cond = a.cond;
+    opt.dist = a.dist;
+    opt.seed = a.seed;
+    auto Ad = ref::to_dense(gen::cond_matrix<T>(eng, a.m, a.n, a.nb, opt));
+
+    comm::coll::Config cfg;
+    if (a.comm == "legacy") {
+        cfg.legacy = true;
+    } else if (a.comm == "ring") {
+        cfg.allreduce = comm::coll::Algo::Ring;
+        cfg.allgather = comm::coll::Algo::Ring;
+        cfg.deterministic = false;
+    }
+    Grid g{a.gp, a.gq};
+    comm::World world(a.ranks);
+    world.set_coll_config(cfg);
+
+    ref::Dense<T> U(a.m, a.n);
+    comm::DistQdwhInfo info;
+    Timer t_run;
+    world.run([&](comm::Communicator& c) {
+        comm::DistMatrix<T> A(c, a.m, a.n, a.nb, g);
+        A.fill([&](std::int64_t i, std::int64_t j) { return Ad(i, j); });
+        auto inf = comm::dist_qdwh(c, g, A, 1.0 / a.cond);
+        auto dense = comm::dist_gather(c, A);
+        if (c.rank() == 0) {
+            info = inf;
+            for (std::int64_t j = 0; j < a.n; ++j)
+                for (std::int64_t i = 0; i < a.m; ++i)
+                    U(i, j) = dense[static_cast<size_t>(i + j * a.m)];
+        }
+    });
+    double const secs = t_run.elapsed();
+
+    double const orth =
+        ref::orthogonality(U) / std::sqrt(static_cast<double>(a.n));
+    auto UhA = ref::gemm(Op::ConjTrans, Op::NoTrans, T(1), U, Ad);
+    ref::Dense<T> Hd(a.n, a.n);
+    for (std::int64_t j = 0; j < a.n; ++j)
+        for (std::int64_t i = 0; i < a.n; ++i)
+            Hd(i, j) = T(0.5) * (UhA(i, j) + conj_val(UhA(j, i)));
+    auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, Hd);
+    double const bwd = ref::diff_fro(UH, Ad) / ref::norm_fro(Ad);
+
+    std::printf("algo=dqdwh type=%c m=%lld n=%lld nb=%d cond=%.1e ranks=%d "
+                "grid=%dx%d comm=%s\n",
+                a.type, static_cast<long long>(a.m),
+                static_cast<long long>(a.n), a.nb, a.cond, a.ranks, a.gp,
+                a.gq, a.comm.c_str());
+    std::printf("  iterations %d   ||A||_2 est %.3e   time %.3fs\n",
+                info.iterations, info.norm2_estimate, secs);
+    std::printf("  ||I-U'U||/sqrt(n) = %.3e   ||A-UH||/||A|| = %.3e\n", orth,
+                bwd);
+    auto rep = perf::comm_report(world);
+    std::printf("%s", rep.format().c_str());
+    if (a.verbose) {
+        // Model check: predicted traffic of one n-element allreduce (the
+        // norm-estimator / convergence shape) under the selected algorithm.
+        auto algo = comm::coll::resolve_allreduce(
+            cfg, static_cast<size_t>(a.n) * sizeof(T));
+        auto v = perf::collective_volume(perf::CollKind::Allreduce, algo,
+                                         a.ranks, static_cast<size_t>(a.n),
+                                         sizeof(T));
+        std::printf("  model: one %s allreduce(n) = %llu msgs, %llu bytes, "
+                    "max/rank sends %llu\n",
+                    comm::coll::algo_name(algo),
+                    static_cast<unsigned long long>(v.messages),
+                    static_cast<unsigned long long>(v.bytes),
+                    static_cast<unsigned long long>(v.max_rank_sends));
+    }
+    return 0;
+}
+
 template <typename T>
 int dispatch(Args const& a) {
     if (a.algo == "newton" || a.algo == "svdpd")
         return run_dense<T>(a);
+    if (a.algo == "dqdwh")
+        return run_dist<T>(a);
     return run_tiled<T>(a);
 }
 
