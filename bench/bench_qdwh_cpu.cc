@@ -55,14 +55,18 @@ void BM_Qdwh(benchmark::State& state) {
     std::int64_t const n = state.range(0);
     int const nb = 32;
     rt::Mode const mode = mode_of(static_cast<int>(state.range(1)));
+    bool const structured = state.range(2) != 0;
     rt::Engine eng(threads(), mode);
     gen::MatGenOptions opt;
     opt.cond = 1e8;
     opt.seed = 5000;
     auto A0 = gen::cond_matrix<double>(eng, n, n, nb, opt);
+    QdwhOptions qopt;
+    qopt.structured_qr = structured;
 
     double flops = 0;
     double kernel_flops = 0, solve_secs = 0;
+    int it_qr = 0, it_chol = 0;
     for (auto _ : state) {
         state.PauseTiming();
         auto A = A0.clone();
@@ -70,10 +74,12 @@ void BM_Qdwh(benchmark::State& state) {
         state.ResumeTiming();
         double const kf0 = blas::kernel::flops_performed();
         Timer t;
-        auto info = qdwh(eng, A, H);
+        auto info = qdwh(eng, A, H, qopt);
         solve_secs += t.elapsed();
         kernel_flops += blas::kernel::flops_performed() - kf0;
         flops = info.flops;
+        it_qr = info.it_qr;
+        it_chol = info.it_chol;
     }
     state.counters["Gflop/s"] = benchmark::Counter(
         flops * static_cast<double>(state.iterations()) / 1e9,
@@ -81,16 +87,81 @@ void BM_Qdwh(benchmark::State& state) {
     double const achieved =
         solve_secs > 0 ? kernel_flops / solve_secs / 1e9 : 0.0;
     state.counters["kernel_Gflop/s"] = achieved;
-    state.SetLabel(mode_name(static_cast<int>(state.range(1))));
+    state.SetLabel(std::string(mode_name(static_cast<int>(state.range(1)))) +
+                   (structured ? "/ttqr" : "/dense"));
 
     bench::JsonRecord r;
     r.field("bench", "qdwh")
         .field("n", static_cast<std::int64_t>(n))
         .field("mode", mode_name(static_cast<int>(state.range(1))))
+        .field("structured_qr", structured)
+        .field("it_qr", it_qr)
+        .field("it_chol", it_chol)
         .field("model_flops", flops)
         .field("kernel_flops", kernel_flops)
         .field("solve_seconds", solve_secs)
         .field("achieved_gflops", achieved);
+    emitter().add(r);
+}
+
+// One stacked-QR factor + Q generation, dense oracle vs structured — the
+// isolated A/B behind the qdwh speedup. The JSON record carries the exact
+// model-predicted kernel flops and a model-match flag: the replay in
+// perf::stacked_qr_kernel_flops shares the counter's per-call truncation, so
+// any mismatch is a kernel-accounting bug, not noise.
+void BM_StackedQr(benchmark::State& state) {
+    std::int64_t const n = state.range(0);
+    int const nb = 32;
+    bool const structured = state.range(1) != 0;
+    rt::Engine eng(threads());
+    TiledMatrix<double> A0(n, n, nb);
+    gen::fill_gaussian(eng, A0, 7000);
+    eng.wait();
+    int const mt1 = A0.mt();
+
+    auto wrows = TiledMatrix<double>::chop(n, nb);
+    auto const cols = wrows;
+    wrows.insert(wrows.end(), cols.begin(), cols.end());
+
+    double kernel_flops = 0, secs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        TiledMatrix<double> W(wrows, cols);
+        la::copy(eng, A0, W.sub(0, 0, mt1, W.nt()));
+        auto Tm = la::alloc_qr_t(W);
+        TiledMatrix<double> Q(wrows, cols);
+        eng.wait();
+        state.ResumeTiming();
+        double const kf0 = blas::kernel::flops_performed();
+        Timer t;
+        if (structured) {
+            la::geqrf_stacked_tri(eng, W, mt1, 1.0, Tm);
+            la::ungqr_stacked_tri(eng, W, mt1, Tm, Q);
+        } else {
+            la::set_identity(eng, W.sub(mt1, 0, W.nt(), W.nt()));
+            la::geqrf(eng, W, Tm);
+            la::ungqr(eng, W, Tm, Q);
+        }
+        eng.wait();
+        secs += t.elapsed();
+        kernel_flops = blas::kernel::flops_performed() - kf0;
+    }
+    double const model =
+        bench::stacked_qr_model_flops<double>(n, nb, structured);
+    state.counters["Gflop/s"] =
+        secs > 0 ? kernel_flops * static_cast<double>(state.iterations()) /
+                       secs / 1e9
+                 : 0.0;
+    state.SetLabel(structured ? "ttqr" : "dense");
+
+    bench::JsonRecord r;
+    r.field("bench", "stacked_qr")
+        .field("n", static_cast<std::int64_t>(n))
+        .field("structured_qr", structured)
+        .field("qr_kernel_flops", kernel_flops)
+        .field("qr_model_flops", model)
+        .field("qr_model_match", kernel_flops == model)
+        .field("solve_seconds", secs);
     emitter().add(r);
 }
 
@@ -156,7 +227,13 @@ void BM_SvdPolar(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_Qdwh)
-    ->ArgsProduct({{128, 256}, {0, 1, 2}})
+    ->ArgsProduct({{128, 256}, {0, 1, 2}, {0, 1}})
+    ->Args({512, 1, 0})  // the A/B pair behind the README flop-savings table
+    ->Args({512, 1, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StackedQr)
+    ->ArgsProduct({{128, 256, 512}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Geqrf)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Potrf)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);

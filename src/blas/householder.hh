@@ -425,4 +425,194 @@ void tsmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf,
     kernel::count_flops(flops::tsmqr(m2, n, nn) * (fma_flops<T>() / 2.0));
 }
 
+/// Triangle-on-top-of-triangle QR: factor [R1; R2] where R1 = upper
+/// triangle of A1 (n-by-n, n = A1.nb, A1.mb >= n) and R2 = the upper
+/// trapezoid of A2 (m2-by-n, m2 <= n) — the fold of the QDWH identity
+/// block's diagonal tile, which stays upper triangular throughout the
+/// stacked factorization. Column j of R2 has t_j = min(j + 1, m2) nonzero
+/// rows, so its reflector tail has length t_j; everything below the
+/// trapezoid is neither read nor written (callers may leave it stale).
+/// On return: the new R in A1's upper triangle, V2 in A2's upper trapezoid
+/// (non-unit diagonal; the implicit unit lives in R1's row j as e_j), and
+/// Tf the compact WY factor. ~2.5x fewer flops than tsqrt on the same tile.
+template <typename T>
+void ttqrt(Tile<T> const& A1, Tile<T> const& A2, Tile<T> const& Tf) {
+    int const n = A1.nb();
+    int const m2 = A2.mb();
+    tbp_require(A1.mb() >= n && A2.nb() == n && m2 <= n);
+    tbp_require(Tf.mb() >= n && Tf.nb() >= n);
+
+    std::vector<T> tau(n);
+    for (int j = 0; j < n; ++j) {
+        int const tj = std::min(j + 1, m2);
+        auto r = larfg(A1(j, j), tj, &A2(0, j));
+        tau[j] = r.tau;
+        A1(j, j) = from_real<T>(r.beta);
+
+        T const ctau = conj_val(r.tau);
+        if (ctau != T(0)) {
+            for (int c = j + 1; c < n; ++c) {
+                // Column c's trapezoid has t_c >= t_j rows, so the update
+                // stays inside the structure (fill never leaks downward).
+                T w = A1(j, c);
+                for (int i = 0; i < tj; ++i)
+                    w += conj_val(A2(i, j)) * A2(i, c);
+                w *= ctau;
+                A1(j, c) -= w;
+                for (int i = 0; i < tj; ++i)
+                    A2(i, c) -= A2(i, j) * w;
+            }
+        }
+    }
+
+    // T factor: only the trapezoidal V2 contributes to the inner products
+    // (column i has t_i <= t_j stored rows).
+    for (int j = 0; j < n; ++j) {
+        Tf(j, j) = tau[j];
+        for (int i = 0; i < j; ++i) {
+            int const ti = std::min(i + 1, m2);
+            T z(0);
+            for (int r2 = 0; r2 < ti; ++r2)
+                z += conj_val(A2(r2, i)) * A2(r2, j);
+            Tf(i, j) = -tau[j] * z;
+        }
+        for (int i = 0; i < j; ++i) {
+            T s(0);
+            for (int l = i; l < j; ++l)
+                s += Tf(i, l) * Tf(l, j);
+            Tf(i, j) = s;
+        }
+        for (int i = j + 1; i < Tf.mb(); ++i)
+            Tf(i, j) = T(0);
+    }
+
+    kernel::count_flops(flops::ttqrt(m2, n) * (fma_flops<T>() / 2.0));
+}
+
+/// Apply the ttqrt block reflector to the tile pair [C1; C2] (reference
+/// element loops): Q = I - [E; V2] T [E; V2]^H with V2 upper-trapezoidal
+/// (column i has t_i = min(i + 1, m2) stored rows). c2_zero declares C2
+/// structurally zero on entry: the V2^H C2 accumulation is skipped and C2
+/// is overwritten (never read), which is how the stacked factorization
+/// creates the first fill in a trailing identity-block tile without a
+/// set-zero sweep.
+template <typename T>
+void ttmqr_naive(Op op, Tile<T> const& V2, Tile<T> const& Tf,
+                 Tile<T> const& C1, Tile<T> const& C2, bool c2_zero) {
+    int const n = V2.nb();
+    int const m2 = V2.mb();
+    int const nn = C1.nb();
+    tbp_require(C1.mb() >= n && C2.nb() == nn && C2.mb() == m2);
+    tbp_require(op == Op::NoTrans || op == Op::ConjTrans);
+
+    // S = C1(0:n, :) + V2^H C2   (n-by-nn)
+    std::vector<T> S(static_cast<size_t>(n) * nn);
+    auto s_ = [&](int i, int j) -> T& { return S[i + static_cast<size_t>(j) * n]; };
+    for (int j = 0; j < nn; ++j) {
+        for (int i = 0; i < n; ++i) {
+            T s = C1(i, j);
+            if (!c2_zero) {
+                int const ti = std::min(i + 1, m2);
+                for (int r = 0; r < ti; ++r)
+                    s += conj_val(V2(r, i)) * C2(r, j);
+            }
+            s_(i, j) = s;
+        }
+    }
+
+    // S := op(T) S.
+    for (int j = 0; j < nn; ++j) {
+        if (op == Op::NoTrans) {
+            for (int i = 0; i < n; ++i) {
+                T s(0);
+                for (int l = i; l < n; ++l)
+                    s += Tf(i, l) * s_(l, j);
+                s_(i, j) = s;
+            }
+        } else {
+            for (int i = n - 1; i >= 0; --i) {
+                T s(0);
+                for (int l = 0; l <= i; ++l)
+                    s += conj_val(Tf(l, i)) * s_(l, j);
+                s_(i, j) = s;
+            }
+        }
+    }
+
+    // [C1; C2] -= [E; V2] S; row r of V2 is nonzero in columns i >= r.
+    for (int j = 0; j < nn; ++j) {
+        for (int i = 0; i < n; ++i)
+            C1(i, j) -= s_(i, j);
+        for (int r = 0; r < m2; ++r) {
+            T acc(0);
+            for (int i = r; i < n; ++i)
+                acc += V2(r, i) * s_(i, j);
+            if (c2_zero)
+                C2(r, j) = -acc;
+            else
+                C2(r, j) -= acc;
+        }
+    }
+}
+
+/// Level-3 ttmqr for the square case (m2 == n, the production shape): both
+/// V2 products are upper-triangular trmm, so the applier routes through the
+/// packed trmm path instead of the dense tsmqr GEMM panels.
+template <typename T>
+void ttmqr_level3(Op op, Tile<T> const& V2, Tile<T> const& Tf,
+                  Tile<T> const& C1, Tile<T> const& C2, bool c2_zero) {
+    int const n = V2.nb();
+    int const m2 = V2.mb();
+    int const nn = C1.nb();
+    tbp_require(m2 == n);
+    tbp_require(C1.mb() >= n && C2.nb() == nn && C2.mb() == m2);
+    tbp_require(op == Op::NoTrans || op == Op::ConjTrans);
+    if (n == 0 || nn == 0)
+        return;
+
+    auto& arena = kernel::tls_arena<T>();
+    std::size_t const wcount = static_cast<std::size_t>(n) * nn;
+    Tile<T> S(arena.get(kernel::kWork0, wcount), n, nn, n);
+    Tile<T> W(arena.get(kernel::kWork1, wcount), n, nn, n);
+    auto C1t = C1.sub(0, 0, n, nn);
+
+    // S = C1(0:n, :) + V2^H C2 (the V2 term via an upper-triangular trmm).
+    copy(C1t, S);
+    if (!c2_zero) {
+        copy(C2, W);
+        trmm_dispatch(Uplo::Upper, Op::ConjTrans, Diag::NonUnit, T(1), V2, W);
+        add(T(1), W, T(1), S);
+    }
+    trmm_dispatch(Uplo::Upper,
+                  (op == Op::NoTrans) ? Op::NoTrans : Op::ConjTrans,
+                  Diag::NonUnit, T(1), Tf.sub(0, 0, n, n), S);
+    add(T(-1), S, T(1), C1t);
+
+    // C2 -= V2 S (or C2 := -V2 S when C2 was structurally zero).
+    copy(S, W);
+    trmm_dispatch(Uplo::Upper, Op::NoTrans, Diag::NonUnit, T(1), V2, W);
+    if (c2_zero) {
+        copy(W, C2);
+        scale(T(-1), C2);
+    } else {
+        add(T(-1), W, T(1), C2);
+    }
+}
+
+template <typename T>
+void ttmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf, Tile<T> const& C1,
+           Tile<T> const& C2, bool c2_zero = false) {
+    int const n = V2.nb();
+    int const m2 = V2.mb();
+    int const nn = C1.nb();
+    double const volume = static_cast<double>(2 * n) * n * nn;
+    if (kernel::use_naive() || m2 != n
+        || volume < 4.0 * kernel::kGemmCrossover)
+        ttmqr_naive(op, V2, Tf, C1, C2, c2_zero);
+    else
+        ttmqr_level3(op, V2, Tf, C1, C2, c2_zero);
+    kernel::count_flops(flops::ttmqr(m2, n, nn, c2_zero)
+                        * (fma_flops<T>() / 2.0));
+}
+
 }  // namespace tbp::blas

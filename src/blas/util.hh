@@ -84,6 +84,18 @@ void row_abs_sums(Tile<T> const& A, real_t<T>* row_sums) {
             row_sums[i] += std::abs(A(i, j));
 }
 
+/// Sum of squared magnitudes of A - s*B (fused convergence-check kernel:
+/// reads both tiles, writes neither).
+template <typename T>
+real_t<T> diff_sum_sq(real_t<T> s, Tile<T> const& A, Tile<T> const& B) {
+    tbp_require(A.mb() == B.mb() && A.nb() == B.nb());
+    real_t<T> acc(0);
+    for (int j = 0; j < A.nb(); ++j)
+        for (int i = 0; i < A.mb(); ++i)
+            acc += abs_sq(A(i, j) - from_real<T>(s) * B(i, j));
+    return acc;
+}
+
 /// Sum of squared magnitudes (for the Frobenius norm reduction).
 template <typename T>
 real_t<T> sum_sq(Tile<T> const& A) {

@@ -54,6 +54,11 @@ struct QdwhOptions {
     bool compute_h = true;
     /// Enforce exact Hermitian symmetry of H: H := (H + H^H)/2.
     bool symmetrize_h = true;
+    /// Exploit the identity block of W = [sqrt(c) A; I] in the QR-based
+    /// iterations (geqrf_stacked_tri / ungqr_stacked_tri / triangular Q2
+    /// gemm, ~35% fewer QR-iteration flops at m = n). Off selects the dense
+    /// oracle path, which factors W with no structural assumptions.
+    bool structured_qr = true;
 };
 
 struct QdwhInfo {
@@ -92,15 +97,21 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     auto const col_sizes = A.col_tile_sizes();
 
     eng.wait();  // quiesce pending caller tasks: clone() reads tiles directly
-    // Workspaces (Algorithm 1 lines 4-6).
+    // Workspaces (Algorithm 1 lines 4-6). Aalt is the rotation partner of
+    // A: each iteration writes A_k into whichever of the two buffers holds
+    // A_{k-2}, so no per-iteration Aprev copy sweep is needed.
     TiledMatrix<T> Acpy = A.clone();  // backup of the *unscaled* A, for H
-    TiledMatrix<T> Aprev(row_sizes, col_sizes, A.grid());
+    TiledMatrix<T> Aalt(row_sizes, col_sizes, A.grid());
     std::vector<int> w_rows = row_sizes;
     w_rows.insert(w_rows.end(), col_sizes.begin(), col_sizes.end());
     TiledMatrix<T> W(w_rows, col_sizes, A.grid());   // stacked [W1; W2]
     TiledMatrix<T> Q(w_rows, col_sizes, A.grid());   // stacked [Q1; Q2]
     TiledMatrix<T> Tw = la::alloc_qr_t(W);
     TiledMatrix<T> Z(col_sizes, col_sizes, A.grid());  // Cholesky operand
+    TiledMatrix<T> W1 = W.sub(0, 0, mt, nt);
+    TiledMatrix<T> W2 = W.sub(mt, 0, nt, nt);
+    TiledMatrix<T> Q1 = Q.sub(0, 0, mt, nt);
+    TiledMatrix<T> Q2 = Q.sub(mt, 0, nt, nt);
 
     // --- Stage 1: two-norm estimate and scaling (lines 11-13) ------------
     R const alpha = cond::norm2est(eng, A);
@@ -110,16 +121,18 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     la::scale(eng, from_real<T>(R(1) / alpha), A);
 
     // --- Stage 2: condition estimate (lines 14-19) -----------------------
+    // The m x n QR runs in the already-allocated W1/Tw iteration
+    // workspaces (the first QR iteration reinitializes them anyway)
+    // instead of cloning a fresh matrix + T factor per call.
     R li;
     if (opts.condest_override > 0) {
         li = static_cast<R>(opts.condest_override);
     } else {
         R const anorm = la::norm(eng, Norm::One, A);
-        TiledMatrix<T> Wc = A.clone();
-        TiledMatrix<T> Tc = la::alloc_qr_t(Wc);
-        la::geqrf(eng, Wc, Tc);
+        la::copy(eng, A, W1);
+        la::geqrf(eng, W1, Tw.sub(0, 0, mt, nt));
         eng.wait();
-        R const rcond = cond::trcondest(eng, Wc);
+        R const rcond = cond::trcondest(eng, W1);
         li = anorm * rcond / std::sqrt(static_cast<R>(n));
     }
     // Clamp into a sane open interval: an exact 0 (singular estimate) still
@@ -131,10 +144,10 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
 
     // --- Stage 3: main iteration (lines 21-50) ----------------------------
     R conv = R(100);
-    TiledMatrix<T> W1 = W.sub(0, 0, mt, nt);
-    TiledMatrix<T> W2 = W.sub(mt, 0, nt, nt);
-    TiledMatrix<T> Q1 = Q.sub(0, 0, mt, nt);
-    TiledMatrix<T> Q2 = Q.sub(mt, 0, nt, nt);
+    // Buffer rotation: `cur` holds A_{k-1}, the iteration writes A_k into
+    // `oth`, the convergence check reads both, then the roles swap.
+    TiledMatrix<T>* cur = &A;
+    TiledMatrix<T>* oth = &Aalt;
 
     while ((conv >= tol3 || std::abs(li - R(1)) >= tol1)
            && info.iterations < opts.max_iter) {
@@ -152,41 +165,54 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
         li = li * (a + b * l2) / (R(1) + c * l2);
         info.li_history.push_back(static_cast<double>(li));
 
-        // Save A_{k-1} for the update and the convergence check.
-        la::copy(eng, A, Aprev);
-
         if (c > R(100)) {
             // QR-based iteration, Eq. (1) (lines 30-36).
-            la::copy(eng, A, W1);
+            la::copy(eng, *cur, W1);
             la::scale(eng, from_real<T>(std::sqrt(c)), W1);
-            la::set_identity(eng, W2);
-            la::geqrf(eng, W, Tw);
-            la::ungqr(eng, W, Tw, Q);
             R const theta = (a - b / c) / std::sqrt(c);
             R const beta = b / c;
-            la::gemm(eng, Op::NoTrans, Op::ConjTrans, from_real<T>(theta),
-                     Q1, Q2, from_real<T>(beta), A);
+            if (opts.structured_qr) {
+                la::geqrf_stacked_tri(eng, W, mt, T(1), Tw);
+                la::ungqr_stacked_tri(eng, W, mt, Tw, Q);
+                // Q2 = R^{-1} is block upper triangular; the out-of-place
+                // triangular gemm writes A_k while A_{k-1} survives in cur.
+                la::gemm_rt_upper(eng, from_real<T>(theta), Q1, Q2,
+                                  from_real<T>(beta), *cur, *oth);
+            } else {
+                la::set_identity(eng, W2);
+                la::geqrf(eng, W, Tw);
+                la::ungqr(eng, W, Tw, Q);
+                la::copy(eng, *cur, *oth);
+                la::gemm(eng, Op::NoTrans, Op::ConjTrans, from_real<T>(theta),
+                         Q1, Q2, from_real<T>(beta), *oth);
+            }
             ++info.it_qr;
         } else {
-            // Cholesky-based iteration, Eq. (2) (lines 38-44).
+            // Cholesky-based iteration, Eq. (2) (lines 38-44). The solves
+            // run on the rotation buffer so A_{k-1} stays intact in cur.
+            la::copy(eng, *cur, *oth);
             la::set_identity(eng, Z);
-            la::herk(eng, Uplo::Lower, Op::ConjTrans, c, A, R(1), Z);
+            la::herk(eng, Uplo::Lower, Op::ConjTrans, c, *cur, R(1), Z);
             la::potrf(eng, Uplo::Lower, Z);
             la::trsm(eng, Side::Right, Uplo::Lower, Op::ConjTrans,
-                     Diag::NonUnit, T(1), Z, A);
+                     Diag::NonUnit, T(1), Z, *oth);
             la::trsm(eng, Side::Right, Uplo::Lower, Op::NoTrans,
-                     Diag::NonUnit, T(1), Z, A);
+                     Diag::NonUnit, T(1), Z, *oth);
             // A_k = (b/c) A_{k-1} + (a - b/c) A_{k-1} Z^{-1}
-            la::add(eng, from_real<T>(b / c), Aprev,
-                    from_real<T>(a - b / c), A);
+            la::add(eng, from_real<T>(b / c), *cur,
+                    from_real<T>(a - b / c), *oth);
             ++info.it_chol;
         }
 
-        // conv = ||A_k - A_{k-1}||_F (lines 47-48). Synchronizes.
-        la::add(eng, T(1), A, T(-1), Aprev);
-        conv = la::norm(eng, Norm::Fro, Aprev);
+        // conv = ||A_k - A_{k-1}||_F (lines 47-48): one fused read-only
+        // sweep over both buffers instead of add + destructive norm.
+        // Synchronizes.
+        conv = la::diff_norm_fro(eng, *oth, *cur);
+        std::swap(cur, oth);
         ++info.iterations;
     }
+    if (cur != &A)
+        la::copy(eng, *cur, A);
     info.conv = static_cast<double>(conv);
     if (info.iterations >= opts.max_iter && (conv >= tol3 || std::abs(li - R(1)) >= tol1))
         tbp_throw("qdwh: did not converge within max_iter iterations");

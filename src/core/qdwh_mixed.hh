@@ -79,7 +79,9 @@ inline QdwhMixedInfo qdwh_mixed(rt::Engine& eng, TiledMatrix<double> A,
     QdwhMixedInfo info;
     TiledMatrix<double> Acpy = A.clone();
 
-    // 1. Full QDWH in single precision.
+    // 1. Full QDWH in single precision. opts (including structured_qr,
+    //    so the float stage shares the stacked-QR structure exploitation)
+    //    passes through except for the H computation, done in double below.
     TiledMatrix<float> Af(rows, cols, A.grid());
     detail::convert(eng, A, Af);
     TiledMatrix<float> Hf;  // skipped

@@ -51,6 +51,9 @@ struct ZoloOptions {
     int max_iter = 20;
     bool compute_h = true;
     bool symmetrize_h = true;
+    /// Exploit the sqrt(c) I block of each stacked [X; sqrt(c) I] term via
+    /// geqrf_stacked_tri / ungqr_stacked_tri (see QdwhOptions).
+    bool structured_qr = true;
 };
 
 struct ZoloInfo {
@@ -193,16 +196,22 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     info.norm2_estimate = static_cast<double>(alpha);
     la::scale(eng, from_real<T>(R(1) / alpha), A);
 
+    TiledMatrix<T> W1 = W.sub(0, 0, mt, nt);
+    TiledMatrix<T> W2 = W.sub(mt, 0, nt, nt);
+    TiledMatrix<T> Q1 = Q.sub(0, 0, mt, nt);
+    TiledMatrix<T> Q2 = Q.sub(mt, 0, nt, nt);
+
+    // Condition estimate reusing the W1/Tw iteration workspaces (the first
+    // term evaluation reinitializes them), as in qdwh().
     R li;
     if (opts.condest_override > 0) {
         li = static_cast<R>(opts.condest_override);
     } else {
         R const anorm = la::norm(eng, Norm::One, A);
-        TiledMatrix<T> Wc = A.clone();
-        TiledMatrix<T> Tc = la::alloc_qr_t(Wc);
-        la::geqrf(eng, Wc, Tc);
+        la::copy(eng, A, W1);
+        la::geqrf(eng, W1, Tw.sub(0, 0, mt, nt));
         eng.wait();
-        R const rcond = cond::trcondest(eng, Wc);
+        R const rcond = cond::trcondest(eng, W1);
         li = anorm * rcond / std::sqrt(static_cast<R>(n));
     }
     // Floor below double's kappa = 1e16 regime: the Zolotarev interval
@@ -210,11 +219,6 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     // under-lifted and extra sweeps are needed.
     li = std::min(std::max(li, R(1e-17)), R(0.999));
     info.condest_l0 = static_cast<double>(li);
-
-    TiledMatrix<T> W1 = W.sub(0, 0, mt, nt);
-    TiledMatrix<T> W2 = W.sub(mt, 0, nt, nt);
-    TiledMatrix<T> Q1 = Q.sub(0, 0, mt, nt);
-    TiledMatrix<T> Q2 = Q.sub(mt, 0, nt, nt);
 
     R conv = R(100);
     while ((conv >= tol3 || std::abs(li - R(1)) >= tol1)
@@ -241,14 +245,26 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
                 // QR evaluation on the stacked [X; sqrt(c) I]; exact even
                 // for ill-conditioned X.
                 la::copy(eng, Aprev, W1);
-                la::set_identity(eng, W2);
-                la::scale(eng, from_real<T>(static_cast<R>(std::sqrt(c))), W2);
-                la::geqrf(eng, W, Tw);
-                la::ungqr(eng, W, Tw, Q);
-                // X (X^H X + c I)^{-1} = Q1 Q2^H / sqrt(c)
-                la::gemm(eng, Op::NoTrans, Op::ConjTrans,
-                         from_real<T>(static_cast<R>(aj / std::sqrt(c))), Q1,
-                         Q2, T(1), Acc);
+                if (opts.structured_qr) {
+                    la::geqrf_stacked_tri(
+                        eng, W, mt, from_real<T>(static_cast<R>(std::sqrt(c))),
+                        Tw);
+                    la::ungqr_stacked_tri(eng, W, mt, Tw, Q);
+                    // X (X^H X + c I)^{-1} = Q1 Q2^H / sqrt(c); Q2 =
+                    // sqrt(c) R^{-1} is block upper triangular.
+                    la::gemm_rt_upper(
+                        eng, from_real<T>(static_cast<R>(aj / std::sqrt(c))),
+                        Q1, Q2, T(1), Acc);
+                } else {
+                    la::set_identity(eng, W2);
+                    la::scale(eng, from_real<T>(static_cast<R>(std::sqrt(c))),
+                              W2);
+                    la::geqrf(eng, W, Tw);
+                    la::ungqr(eng, W, Tw, Q);
+                    la::gemm(eng, Op::NoTrans, Op::ConjTrans,
+                             from_real<T>(static_cast<R>(aj / std::sqrt(c))),
+                             Q1, Q2, T(1), Acc);
+                }
                 ++info.qr_solves;
             } else {
                 // Cholesky evaluation: Z = c I + X^H X.
@@ -270,8 +286,8 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
         la::scale(eng, from_real<T>(static_cast<R>(1.0 / zc.f_max)), A);
         li = static_cast<R>(zc.f_min / zc.f_max);
 
-        la::add(eng, T(1), A, T(-1), Aprev);
-        conv = la::norm(eng, Norm::Fro, Aprev);
+        // Fused non-destructive convergence check (one read-only sweep).
+        conv = la::diff_norm_fro(eng, A, Aprev);
         ++info.iterations;
     }
     info.conv = static_cast<double>(conv);

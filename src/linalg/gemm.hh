@@ -8,6 +8,7 @@
 
 #include "blas/gemm.hh"
 #include "blas/level3.hh"
+#include "blas/util.hh"
 #include "common/flops.hh"
 #include "common/types.hh"
 #include "matrix/tiled_matrix.hh"
@@ -57,6 +58,89 @@ void gemm(rt::Engine& eng, Op opA, Op opB, T alpha, TiledMatrix<T> A,
                                blas::gemm(opA, opB, alpha, at, bt, b, C.tile(i, j));
                                b = T(1);
                            }
+                       });
+        }
+    }
+    eng.op_fence();
+}
+
+/// C := alpha * A * B^H + beta * C where B is block UPPER triangular:
+/// tiles (j, l) with l < j are structurally zero and never read. This is
+/// the Q1 Q2^H update of the structured QDWH iterate — Q2 = R^{-1} is
+/// upper triangular, so block column j of C only sums over l >= j, halving
+/// the gemm flops (2n^3 -> n^3) relative to the dense product.
+template <typename T>
+void gemm_rt_upper(rt::Engine& eng, T alpha, TiledMatrix<T> A,
+                   TiledMatrix<T> B, T beta, TiledMatrix<T> C) {
+    int const mt = C.mt();
+    int const nt = C.nt();
+    int const kt = A.nt();
+    tbp_require(A.mt() == mt && B.mt() == nt && B.nt() == kt);
+
+    for (int j = 0; j < nt; ++j) {
+        for (int i = 0; i < mt; ++i) {
+            std::vector<rt::Access> acc;
+            acc.reserve(static_cast<size_t>(2 * (kt - j)) + 1);
+            double fl = 0;
+            for (int l = j; l < kt; ++l) {
+                acc.push_back(rt::read(A.tile_key(i, l)));
+                acc.push_back(rt::read(B.tile_key(j, l)));
+                fl += flops::gemm(C.tile_mb(i), C.tile_nb(j), A.tile_nb(l))
+                      * (fma_flops<T>() / 2.0);
+            }
+            acc.push_back(beta == T(0) ? rt::write(C.tile_key(i, j))
+                                       : rt::readwrite(C.tile_key(i, j)));
+            eng.submit("gemm", fl, std::move(acc),
+                       [=] {
+                           T b = beta;
+                           for (int l = j; l < kt; ++l) {
+                               blas::gemm(Op::NoTrans, Op::ConjTrans, alpha,
+                                          A.tile(i, l), B.tile(j, l), b,
+                                          C.tile(i, j));
+                               b = T(1);
+                           }
+                       });
+        }
+    }
+    eng.op_fence();
+}
+
+/// Out-of-place variant: C := alpha * A * B^H + beta * D with the same
+/// block-upper-triangular B, D and C conforming and distinct. QDWH's QR
+/// update uses this to write A_k into the spare rotation buffer while
+/// A_{k-1} (= D) survives untouched for the convergence check — no
+/// per-iteration copy sweep.
+template <typename T>
+void gemm_rt_upper(rt::Engine& eng, T alpha, TiledMatrix<T> A,
+                   TiledMatrix<T> B, T beta, TiledMatrix<T> D,
+                   TiledMatrix<T> C) {
+    int const mt = C.mt();
+    int const nt = C.nt();
+    int const kt = A.nt();
+    tbp_require(A.mt() == mt && B.mt() == nt && B.nt() == kt);
+    tbp_require(D.mt() == mt && D.nt() == nt);
+
+    for (int j = 0; j < nt; ++j) {
+        for (int i = 0; i < mt; ++i) {
+            std::vector<rt::Access> acc;
+            acc.reserve(static_cast<size_t>(2 * (kt - j)) + 2);
+            double fl = 0;
+            for (int l = j; l < kt; ++l) {
+                acc.push_back(rt::read(A.tile_key(i, l)));
+                acc.push_back(rt::read(B.tile_key(j, l)));
+                fl += flops::gemm(C.tile_mb(i), C.tile_nb(j), A.tile_nb(l))
+                      * (fma_flops<T>() / 2.0);
+            }
+            acc.push_back(rt::read(D.tile_key(i, j)));
+            acc.push_back(rt::write(C.tile_key(i, j)));
+            eng.submit("gemm", fl, std::move(acc),
+                       [=] {
+                           blas::copy(D.tile(i, j), C.tile(i, j));
+                           blas::scale(beta, C.tile(i, j));
+                           for (int l = j; l < kt; ++l)
+                               blas::gemm(Op::NoTrans, Op::ConjTrans, alpha,
+                                          A.tile(i, l), B.tile(j, l), T(1),
+                                          C.tile(i, j));
                        });
         }
     }

@@ -26,11 +26,22 @@ namespace tbp::la {
 /// factor for the reflector that panel k generated in block row i.
 template <typename T>
 TiledMatrix<T> alloc_qr_t(TiledMatrix<T> const& A) {
-    // Row tile sizes: max panel width, so every T(i, k) sub-fits.
-    int nb_max = 0;
-    for (int j = 0; j < A.nt(); ++j)
-        nb_max = std::max(nb_max, A.tile_nb(j));
-    std::vector<int> rb(static_cast<size_t>(A.mt()), nb_max);
+    // Row i only ever stores the geqrt factor at (i, i) — min(mb_i, nb_i)
+    // rows — and tsqrt/ttqrt factors at (i, k) for panels k < i, each
+    // needing nb_k rows (a short folded tile still produces a full
+    // panel-width T: every panel column gets a reflector). Size each row
+    // by its widest consumer instead of the global max panel width, so
+    // short diagonal rows of rectangular matrices don't over-allocate.
+    int const kt = std::min(A.mt(), A.nt());
+    std::vector<int> rb(static_cast<size_t>(A.mt()), 1);
+    for (int i = 0; i < A.mt(); ++i) {
+        int need = 1;
+        if (i < kt)
+            need = std::max(need, std::min(A.tile_mb(i), A.tile_nb(i)));
+        for (int k = 0; k < std::min(i, kt); ++k)
+            need = std::max(need, A.tile_nb(k));
+        rb[static_cast<size_t>(i)] = need;
+    }
     return TiledMatrix<T>(rb, A.col_tile_sizes(), A.grid());
 }
 
@@ -52,7 +63,10 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
         eng.submit("geqrt", fl_ge,
                    {rt::readwrite(A.tile_key(k, k)), rt::write(Tmat.tile_key(k, k))},
                    [A, Tmat, k, nbk] {
-                       auto tt = Tmat.tile(k, k).sub(0, 0, nbk, nbk);
+                       // geqrt produces min(mb, nb) reflectors, and that is
+                       // all alloc_qr_t guarantees for a short diagonal row.
+                       int const kk = std::min(A.tile_mb(k), nbk);
+                       auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
                        blas::geqrt(A.tile(k, k), tt);
                    },
                    /*priority=*/1);
@@ -93,6 +107,146 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
                                auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
                                blas::tsmqr(Op::ConjTrans, A.tile(i, k), tt,
                                            A.tile(k, j), A.tile(i, j));
+                           });
+            }
+        }
+    }
+    eng.op_fence();
+}
+
+/// QR of the QDWH stacked iterate W = [W1; w2_diag I] (Algorithm 1 line
+/// 31) exploiting the identity block's structure. W1 is the dense top mt1
+/// block rows of W; the caller must NOT initialize the bottom nt block
+/// rows (W2): panel k's init task writes W2's diagonal tile w2_diag I
+/// right before folding it, and every other W2 tile is either trailing
+/// fill (first created by ttmqr's overwriting c2_zero path, then updated
+/// by tsmqr) or structurally zero and never touched:
+///
+///   W2 tile (i, k) at panel k:    i > k   still zero     (no tasks)
+///                                 i == k  w2_diag I      (init + ttqrt)
+///                                 i < k   dense fill     (tsqrt/tsmqr)
+///
+/// Compared to dense geqrf on W this skips the set_identity sweep, every
+/// tsqrt below W2's diagonal, and every trailing update into a still-zero
+/// tile — halving the identity block's fold cost (per-iteration QR flops
+/// drop from 10/3 n^3 to 7/3 n^3 at m = n). Requires m >= n stacking
+/// (mt1 >= nt) and square W2 diagonal tiles
+/// (W.tile_mb(mt1 + i) == W.tile_nb(i)), which [A; I] guarantees.
+template <typename T>
+void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
+                       TiledMatrix<T> Tmat) {
+    int const mt = W.mt();
+    int const nt = W.nt();
+    tbp_require(mt == mt1 + nt && mt1 >= nt);
+    tbp_require(Tmat.mt() == mt && Tmat.nt() == nt);
+    for (int i = 0; i < nt; ++i)
+        tbp_require(W.tile_mb(mt1 + i) == W.tile_nb(i));
+
+    for (int k = 0; k < nt; ++k) {
+        int const nbk = W.tile_nb(k);
+
+        // --- dense W1 part of the panel: identical to geqrf ---------------
+        double const fl_ge = flops::geqrf(W.tile_mb(k), nbk) * (fma_flops<T>() / 2.0);
+        eng.submit("geqrt", fl_ge,
+                   {rt::readwrite(W.tile_key(k, k)), rt::write(Tmat.tile_key(k, k))},
+                   [W, Tmat, k, nbk] {
+                       int const kk = std::min(W.tile_mb(k), nbk);
+                       auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
+                       blas::geqrt(W.tile(k, k), tt);
+                   },
+                   /*priority=*/1);
+        for (int j = k + 1; j < nt; ++j) {
+            double const fl = 4.0 * W.tile_mb(k) * nbk * W.tile_nb(j)
+                              * (fma_flops<T>() / 2.0);
+            eng.submit("unmqr", fl,
+                       {rt::read(W.tile_key(k, k)), rt::read(Tmat.tile_key(k, k)),
+                        rt::readwrite(W.tile_key(k, j))},
+                       [W, Tmat, k, j, nbk] {
+                           int const kk = std::min(W.tile_mb(k), nbk);
+                           auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
+                           blas::unmqr(Op::ConjTrans, W.tile(k, k), tt, W.tile(k, j));
+                       });
+        }
+        for (int i = k + 1; i < mt1; ++i) {
+            double const fl_ts = 2.0 * W.tile_mb(i) * nbk * nbk
+                                 * (fma_flops<T>() / 2.0);
+            eng.submit("tsqrt", fl_ts,
+                       {rt::readwrite(W.tile_key(k, k)), rt::readwrite(W.tile_key(i, k)),
+                        rt::write(Tmat.tile_key(i, k))},
+                       [W, Tmat, i, k, nbk] {
+                           auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                           blas::tsqrt(W.tile(k, k), W.tile(i, k), tt);
+                       },
+                       /*priority=*/1);
+            for (int j = k + 1; j < nt; ++j) {
+                double const fl = 4.0 * W.tile_mb(i) * nbk * W.tile_nb(j)
+                                  * (fma_flops<T>() / 2.0);
+                eng.submit("tsmqr", fl,
+                           {rt::read(W.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(W.tile_key(k, j)),
+                            rt::readwrite(W.tile_key(i, j))},
+                           [W, Tmat, i, j, k, nbk] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(Op::ConjTrans, W.tile(i, k), tt,
+                                           W.tile(k, j), W.tile(i, j));
+                           });
+            }
+        }
+
+        // --- triangle-on-triangle fold of W2's diagonal tile --------------
+        int const ik = mt1 + k;
+        eng.submit("w2_init", {rt::write(W.tile_key(ik, k))},
+                   [W, ik, k, w2_diag] { blas::set(T(0), w2_diag, W.tile(ik, k)); },
+                   /*priority=*/1);
+        double const fl_tt = flops::ttqrt(nbk, nbk) * (fma_flops<T>() / 2.0);
+        eng.submit("ttqrt", fl_tt,
+                   {rt::readwrite(W.tile_key(k, k)), rt::readwrite(W.tile_key(ik, k)),
+                    rt::write(Tmat.tile_key(ik, k))},
+                   [W, Tmat, ik, k, nbk] {
+                       auto tt = Tmat.tile(ik, k).sub(0, 0, nbk, nbk);
+                       blas::ttqrt(W.tile(k, k), W.tile(ik, k), tt);
+                   },
+                   /*priority=*/1);
+        for (int j = k + 1; j < nt; ++j) {
+            // First fill of W2(k, j): structurally zero (and stale in a
+            // reused workspace), so ttmqr's c2_zero path overwrites it.
+            double const fl = flops::ttmqr(nbk, nbk, W.tile_nb(j), true)
+                              * (fma_flops<T>() / 2.0);
+            eng.submit("ttmqr", fl,
+                       {rt::read(W.tile_key(ik, k)), rt::read(Tmat.tile_key(ik, k)),
+                        rt::readwrite(W.tile_key(k, j)), rt::write(W.tile_key(ik, j))},
+                       [W, Tmat, ik, j, k, nbk] {
+                           auto tt = Tmat.tile(ik, k).sub(0, 0, nbk, nbk);
+                           blas::ttmqr(Op::ConjTrans, W.tile(ik, k), tt,
+                                       W.tile(k, j), W.tile(ik, j),
+                                       /*c2_zero=*/true);
+                       });
+        }
+
+        // --- dense fill rows of W2 above its diagonal ---------------------
+        for (int i2 = 0; i2 < k; ++i2) {
+            int const i = mt1 + i2;
+            double const fl_ts = 2.0 * W.tile_mb(i) * nbk * nbk
+                                 * (fma_flops<T>() / 2.0);
+            eng.submit("tsqrt", fl_ts,
+                       {rt::readwrite(W.tile_key(k, k)), rt::readwrite(W.tile_key(i, k)),
+                        rt::write(Tmat.tile_key(i, k))},
+                       [W, Tmat, i, k, nbk] {
+                           auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                           blas::tsqrt(W.tile(k, k), W.tile(i, k), tt);
+                       },
+                       /*priority=*/1);
+            for (int j = k + 1; j < nt; ++j) {
+                double const fl = 4.0 * W.tile_mb(i) * nbk * W.tile_nb(j)
+                                  * (fma_flops<T>() / 2.0);
+                eng.submit("tsmqr", fl,
+                           {rt::read(W.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(W.tile_key(k, j)),
+                            rt::readwrite(W.tile_key(i, j))},
+                           [W, Tmat, i, j, k, nbk] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(Op::ConjTrans, W.tile(i, k), tt,
+                                           W.tile(k, j), W.tile(i, j));
                            });
             }
         }
@@ -141,6 +295,111 @@ void ungqr(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat,
                            int const kk = std::min(A.tile_mb(k), nbk);
                            auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
                            blas::unmqr(Op::NoTrans, A.tile(k, k), tt, Q.tile(k, j));
+                       });
+        }
+    }
+    eng.op_fence();
+}
+
+/// Form the stacked Q = [Q1; Q2] explicitly from a geqrf_stacked_tri
+/// factorization. Q2 (the bottom nt block rows) is block upper triangular
+/// — it equals w2_diag R^{-1} — so its strict-lower tiles are only
+/// zero-filled, never computed, and each panel touches only the Q2 rows
+/// its reflectors can reach. The apply order is the exact reverse of
+/// geqrf_stacked_tri's fold order, and the first touch of each upper Q2
+/// diagonal tile goes through ttmqr's overwriting c2_zero path.
+template <typename T>
+void ungqr_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1,
+                       TiledMatrix<T> Tmat, TiledMatrix<T> Q) {
+    int const mt = W.mt();
+    int const nt = W.nt();
+    tbp_require(mt == mt1 + nt && mt1 >= nt);
+    tbp_require(Q.mt() == mt && Q.nt() == nt);
+
+    // Q1 := [I; 0]. Off-diagonal Q2 tiles are zeroed explicitly (the
+    // storage may be a reused workspace): strict-lower ones stay zero in
+    // the final Q, strict-upper ones are read by the fill appliers of
+    // panel j before anything writes them. Q2's diagonal tiles are the
+    // only ones skipped — ttmqr overwrites them at first touch.
+    set_identity(eng, Q.sub(0, 0, mt1, nt));
+    for (int j = 0; j < nt; ++j)
+        for (int i2 = 0; i2 < nt; ++i2)
+            if (i2 != j)
+                eng.submit("q2_init", {rt::write(Q.tile_key(mt1 + i2, j))},
+                           [Q, mt1, i2, j] {
+                               blas::set(T(0), T(0), Q.tile(mt1 + i2, j));
+                           });
+
+    for (int k = nt - 1; k >= 0; --k) {
+        int const nbk = W.tile_nb(k);
+
+        // Dense W2 fill rows were folded last, so they apply first
+        // (newest fold outermost), in reverse row order.
+        for (int i2 = k - 1; i2 >= 0; --i2) {
+            int const i = mt1 + i2;
+            for (int j = k; j < Q.nt(); ++j) {
+                double const fl = 4.0 * W.tile_mb(i) * nbk * Q.tile_nb(j)
+                                  * (fma_flops<T>() / 2.0);
+                eng.submit("tsmqr", fl,
+                           {rt::read(W.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(Q.tile_key(k, j)),
+                            rt::readwrite(Q.tile_key(i, j))},
+                           [W, Tmat, Q, i, j, k, nbk] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(Op::NoTrans, W.tile(i, k), tt,
+                                           Q.tile(k, j), Q.tile(i, j));
+                           });
+            }
+        }
+
+        // Triangle-on-triangle row: panel k's fold of W2(k, k). Column k is
+        // the first touch of Q2(k, k) (structurally zero), later columns
+        // update fill created by the panels already applied.
+        int const ik = mt1 + k;
+        for (int j = k; j < Q.nt(); ++j) {
+            bool const first = (j == k);
+            double const fl = flops::ttmqr(nbk, nbk, Q.tile_nb(j), first)
+                              * (fma_flops<T>() / 2.0);
+            std::vector<rt::Access> acc = {
+                rt::read(W.tile_key(ik, k)), rt::read(Tmat.tile_key(ik, k)),
+                rt::readwrite(Q.tile_key(k, j)),
+                first ? rt::write(Q.tile_key(ik, j))
+                      : rt::readwrite(Q.tile_key(ik, j))};
+            eng.submit("ttmqr", fl, std::move(acc),
+                       [W, Tmat, Q, ik, j, k, nbk, first] {
+                           auto tt = Tmat.tile(ik, k).sub(0, 0, nbk, nbk);
+                           blas::ttmqr(Op::NoTrans, W.tile(ik, k), tt,
+                                       Q.tile(k, j), Q.tile(ik, j),
+                                       /*c2_zero=*/first);
+                       });
+        }
+
+        // Dense W1 rows, then the geqrt row — exactly as in ungqr.
+        for (int i = mt1 - 1; i > k; --i) {
+            for (int j = k; j < Q.nt(); ++j) {
+                double const fl = 4.0 * W.tile_mb(i) * nbk * Q.tile_nb(j)
+                                  * (fma_flops<T>() / 2.0);
+                eng.submit("tsmqr", fl,
+                           {rt::read(W.tile_key(i, k)), rt::read(Tmat.tile_key(i, k)),
+                            rt::readwrite(Q.tile_key(k, j)),
+                            rt::readwrite(Q.tile_key(i, j))},
+                           [W, Tmat, Q, i, j, k, nbk] {
+                               auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
+                               blas::tsmqr(Op::NoTrans, W.tile(i, k), tt,
+                                           Q.tile(k, j), Q.tile(i, j));
+                           });
+            }
+        }
+        for (int j = k; j < Q.nt(); ++j) {
+            double const fl = 4.0 * W.tile_mb(k) * nbk * Q.tile_nb(j)
+                              * (fma_flops<T>() / 2.0);
+            eng.submit("unmqr", fl,
+                       {rt::read(W.tile_key(k, k)), rt::read(Tmat.tile_key(k, k)),
+                        rt::readwrite(Q.tile_key(k, j))},
+                       [W, Tmat, Q, k, j, nbk] {
+                           int const kk = std::min(W.tile_mb(k), nbk);
+                           auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
+                           blas::unmqr(Op::NoTrans, W.tile(k, k), tt, Q.tile(k, j));
                        });
         }
     }

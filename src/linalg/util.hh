@@ -125,6 +125,38 @@ std::vector<real_t<T>> col_abs_sums(rt::Engine& eng, TiledMatrix<T> A) {
     return sums;
 }
 
+/// ||A - s*B||_F without modifying either operand: one fused read-only task
+/// per tile replaces the add + norm pair QDWH's convergence check used to
+/// need (two full-matrix sweeps and a destroyed Aprev). Partials land in
+/// fixed slots and are summed in a fixed order after the fence, preserving
+/// the deterministic-reduction ordering of Norm::Fro. Synchronizing.
+template <typename T>
+real_t<T> diff_norm_fro(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> B,
+                        real_t<T> s = real_t<T>(1)) {
+    using R = real_t<T>;
+    tbp_require(A.mt() == B.mt() && A.nt() == B.nt());
+    std::vector<R> partial(
+        static_cast<size_t>(A.mt()) * static_cast<size_t>(A.nt()), R(0));
+    for (int j = 0; j < A.nt(); ++j) {
+        for (int i = 0; i < A.mt(); ++i) {
+            size_t const slot = static_cast<size_t>(j)
+                                    * static_cast<size_t>(A.mt())
+                                + static_cast<size_t>(i);
+            eng.submit("diff_sum_sq",
+                       {rt::read(A.tile_key(i, j)), rt::read(B.tile_key(i, j))},
+                       [A, B, s, i, j, slot, &partial] {
+                           partial[slot] =
+                               blas::diff_sum_sq(s, A.tile(i, j), B.tile(i, j));
+                       });
+        }
+    }
+    eng.wait();
+    R total(0);
+    for (R p : partial)
+        total += p;
+    return std::sqrt(total);
+}
+
 /// Matrix norm. One/Inf/Fro/Max as in LAPACK's lange. Synchronizing.
 template <typename T>
 real_t<T> norm(rt::Engine& eng, Norm which, TiledMatrix<T> A) {

@@ -56,6 +56,29 @@ struct CollVolume {
 CollVolume collective_volume(CollKind kind, comm::coll::Algo algo, int nranks,
                              std::size_t count, std::size_t elem_bytes);
 
+/// Task-count breakdown of one stacked-QR factor + Q generation, by kernel.
+/// `init` counts the zero/identity initialization tasks (set_identity
+/// sweeps for the dense path; w2_init/q2_init for the structured one).
+struct QrTaskCounts {
+    std::int64_t geqrt = 0;
+    std::int64_t unmqr = 0;
+    std::int64_t tsqrt = 0;
+    std::int64_t tsmqr = 0;
+    std::int64_t ttqrt = 0;
+    std::int64_t ttmqr = 0;
+    std::int64_t init = 0;
+    std::int64_t total() const {
+        return geqrt + unmqr + tsqrt + tsmqr + ttqrt + ttmqr + init;
+    }
+};
+
+/// Exact task counts of geqrf + ungqr on the stacked [W1; W2] tile grid
+/// (W1 mt1 x nt, W2 nt x nt) — dense, or geqrf_stacked_tri +
+/// ungqr_stacked_tri when `structured`. Replays the submission loops, so
+/// counts match the engine's executed-task count for the pair exactly
+/// (tested in test_perf).
+QrTaskCounts qr_task_counts(int mt1, int nt, bool structured);
+
 enum class Schedule { TaskDataflow, ForkJoin };
 
 /// Kernel class determines the efficiency curve applied to a device.

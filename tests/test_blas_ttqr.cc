@@ -1,0 +1,185 @@
+// Triangle-on-triangle QR kernels: ttqrt, ttmqr.
+//
+// ttqrt folds an upper-trapezoidal m2 x n tile (m2 <= n) into an upper
+// triangular R — the structured fold of the identity block of QDWH's
+// stacked [sqrt(c) A; I]. Its defining property: with the strictly-lower
+// part of A2 zero, every reflector tail is confined to the trapezoid, so
+// the factorization produces the SAME R, V2, and T as the dense tsqrt
+// oracle on the zero-padded tile, at ~40% of the flops. ttmqr applies the
+// resulting reflectors exploiting the same sparsity, including the
+// overwriting c2_zero path for C2 tiles that are structurally zero.
+
+#include <gtest/gtest.h>
+
+#include "blas/householder.hh"
+#include "common/flops.hh"
+#include "ref/dense.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+template <typename T>
+class TtQr : public ::testing::Test {};
+TYPED_TEST_SUITE(TtQr, test::AllTypes);
+
+namespace {
+
+template <typename T>
+Tile<T> as_tile(ref::Dense<T>& D) {
+    return Tile<T>(D.data(), static_cast<int>(D.m()), static_cast<int>(D.n()),
+                   static_cast<int>(D.m()));
+}
+
+/// Random upper-triangular R tile (n x n), as geqrt leaves it.
+template <typename T>
+ref::Dense<T> random_r(int n, std::uint64_t seed) {
+    auto A = ref::random_dense<T>(n, n, seed);
+    for (int j = 0; j < n; ++j)
+        for (int i = j + 1; i < n; ++i)
+            A(i, j) = T(0);
+    return A;
+}
+
+/// Random upper-trapezoidal m2 x n tile (zero strictly below the diagonal)
+/// — the shape of W2's diagonal tile and of ttqrt's V2 output.
+template <typename T>
+ref::Dense<T> random_trapezoid(int m2, int n, std::uint64_t seed) {
+    auto A = ref::random_dense<T>(m2, n, seed);
+    for (int j = 0; j < n; ++j)
+        for (int i = j + 1; i < m2; ++i)
+            A(i, j) = T(0);
+    return A;
+}
+
+}  // namespace
+
+TYPED_TEST(TtQr, TtqrtMatchesTsqrtOracle) {
+    // On a triangular A2, tsqrt's extra work is all on exact zeros, so the
+    // two factorizations agree to rounding (the zero tail contributes
+    // nothing to any larfg norm or reflector inner product).
+    using T = TypeParam;
+    for (auto [m2, n] : {std::pair{6, 6}, {4, 7}, {1, 5}, {8, 8}}) {
+        auto A1t = random_r<T>(n, 21);
+        auto A2t = random_trapezoid<T>(m2, n, 22);
+        auto A1o = A1t;
+        auto A2o = A2t;
+        ref::Dense<T> Tft(n, n), Tfo(n, n);
+
+        blas::ttqrt(as_tile(A1t), as_tile(A2t), as_tile(Tft));
+        blas::tsqrt(as_tile(A1o), as_tile(A2o), as_tile(Tfo));
+
+        auto const scale = 1 + ref::norm_fro(A1o) + ref::norm_fro(A2o);
+        EXPECT_LE(ref::diff_fro(A1t, A1o), test::tol<T>(50) * scale)
+            << "R  m2=" << m2 << " n=" << n;
+        EXPECT_LE(ref::diff_fro(A2t, A2o), test::tol<T>(50) * scale)
+            << "V2 m2=" << m2 << " n=" << n;
+        EXPECT_LE(ref::diff_fro(Tft, Tfo), test::tol<T>(200) * scale)
+            << "T  m2=" << m2 << " n=" << n;
+        // The V2 output must itself stay upper-trapezoidal: no fill below
+        // the diagonal (this is what makes ungqr's sparsity exploitable).
+        for (int j = 0; j < n; ++j)
+            for (int i = j + 1; i < m2; ++i)
+                EXPECT_EQ(A2t(i, j), T(0)) << i << "," << j;
+    }
+}
+
+TYPED_TEST(TtQr, TtmqrMatchesTsmqr) {
+    using T = TypeParam;
+    for (auto [m2, n, nn] : {std::tuple{5, 5, 4}, {3, 6, 7}, {6, 6, 6}}) {
+        auto A1 = random_r<T>(n, 31);
+        auto A2 = random_trapezoid<T>(m2, n, 32);
+        ref::Dense<T> Tf(n, n);
+        blas::ttqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+
+        auto C1t = ref::random_dense<T>(n, nn, 33);
+        auto C2t = ref::random_dense<T>(m2, nn, 34);
+        auto C1o = C1t;
+        auto C2o = C2t;
+
+        for (auto op : {Op::ConjTrans, Op::NoTrans}) {
+            blas::ttmqr(op, as_tile(A2), as_tile(Tf), as_tile(C1t), as_tile(C2t));
+            blas::tsmqr(op, as_tile(A2), as_tile(Tf), as_tile(C1o), as_tile(C2o));
+            auto const scale = 1 + ref::norm_fro(C1o) + ref::norm_fro(C2o);
+            EXPECT_LE(ref::diff_fro(C1t, C1o), test::tol<T>(500) * scale)
+                << "op=" << static_cast<int>(op) << " m2=" << m2;
+            EXPECT_LE(ref::diff_fro(C2t, C2o), test::tol<T>(500) * scale)
+                << "op=" << static_cast<int>(op) << " m2=" << m2;
+        }
+    }
+}
+
+TYPED_TEST(TtQr, TtmqrRoundTrip) {
+    // Q^H (Q C) == C through the triangular applier.
+    using T = TypeParam;
+    int const n = 6, m2 = 6, nn = 3;
+    auto A1 = random_r<T>(n, 41);
+    auto A2 = random_trapezoid<T>(m2, n, 42);
+    ref::Dense<T> Tf(n, n);
+    blas::ttqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+
+    auto C1 = ref::random_dense<T>(n, nn, 43);
+    auto C2 = ref::random_dense<T>(m2, nn, 44);
+    auto C1_0 = C1;
+    auto C2_0 = C2;
+    blas::ttmqr(Op::ConjTrans, as_tile(A2), as_tile(Tf), as_tile(C1), as_tile(C2));
+    blas::ttmqr(Op::NoTrans, as_tile(A2), as_tile(Tf), as_tile(C1), as_tile(C2));
+    EXPECT_LE(ref::diff_fro(C1, C1_0), test::tol<T>(500) * (1 + ref::norm_fro(C1_0)));
+    EXPECT_LE(ref::diff_fro(C2, C2_0), test::tol<T>(500) * (1 + ref::norm_fro(C2_0)));
+}
+
+TYPED_TEST(TtQr, TtmqrZeroC2OverwritesGarbage) {
+    // The c2_zero path must produce, from an arbitrary (stale) C2, exactly
+    // what the regular path produces from an explicitly zeroed C2 — that is
+    // the contract geqrf_stacked_tri relies on to skip the zero-fill sweep.
+    using T = TypeParam;
+    for (auto [m2, n, nn] : {std::tuple{5, 5, 4}, {3, 6, 2}}) {
+        auto A1 = random_r<T>(n, 51);
+        auto A2 = random_trapezoid<T>(m2, n, 52);
+        ref::Dense<T> Tf(n, n);
+        blas::ttqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+
+        auto C1a = ref::random_dense<T>(n, nn, 53);
+        auto C1b = C1a;
+        auto C2a = ref::random_dense<T>(m2, nn, 54);  // garbage, overwritten
+        ref::Dense<T> C2b(m2, nn);                    // explicit zeros
+
+        blas::ttmqr(Op::ConjTrans, as_tile(A2), as_tile(Tf), as_tile(C1a),
+                    as_tile(C2a), /*c2_zero=*/true);
+        blas::ttmqr(Op::ConjTrans, as_tile(A2), as_tile(Tf), as_tile(C1b),
+                    as_tile(C2b), /*c2_zero=*/false);
+        auto const scale = 1 + ref::norm_fro(C1b) + ref::norm_fro(C2b);
+        EXPECT_LE(ref::diff_fro(C1a, C1b), test::tol<T>(200) * scale);
+        EXPECT_LE(ref::diff_fro(C2a, C2b), test::tol<T>(200) * scale);
+    }
+}
+
+TYPED_TEST(TtQr, FlopChargesMatchFormulasAndBeatDense) {
+    using T = TypeParam;
+    int const n = 8, nn = 8;
+    auto A1 = random_r<T>(n, 61);
+    auto A2 = random_trapezoid<T>(n, n, 62);
+    ref::Dense<T> Tf(n, n);
+    double const w = fma_flops<T>() / 2.0;
+
+    double before = blas::kernel::flops_performed();
+    blas::ttqrt(as_tile(A1), as_tile(A2), as_tile(Tf));
+    double const ttqrt_fl = blas::kernel::flops_performed() - before;
+    EXPECT_EQ(ttqrt_fl,
+              static_cast<double>(
+                  static_cast<std::uint64_t>(flops::ttqrt(n, n) * w)));
+
+    auto C1 = ref::random_dense<T>(n, nn, 63);
+    auto C2 = ref::random_dense<T>(n, nn, 64);
+    before = blas::kernel::flops_performed();
+    blas::ttmqr(Op::ConjTrans, as_tile(A2), as_tile(Tf), as_tile(C1), as_tile(C2));
+    double const ttmqr_fl = blas::kernel::flops_performed() - before;
+    EXPECT_EQ(ttmqr_fl,
+              static_cast<double>(static_cast<std::uint64_t>(
+                  flops::ttmqr(n, n, nn, false) * w)));
+
+    // The structured kernels must be charged well under the dense pair —
+    // this is the per-tile ~2x saving the structured factorization banks.
+    EXPECT_LE(flops::ttqrt(n, n) * 1.5, flops::tsqrt(n, n));
+    EXPECT_LE(flops::ttmqr(n, n, nn, false) * 1.5, flops::tsmqr(n, n, nn));
+    EXPECT_LE(flops::ttmqr(n, n, nn, true) * 2.0, flops::tsmqr(n, n, nn));
+}

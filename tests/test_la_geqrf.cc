@@ -95,6 +95,130 @@ TYPED_TEST(LaGeqrf, StackedQdwhShape) {
               test::tol<T>(1000) * (1 + ref::norm_fro(Worig)));
 }
 
+TYPED_TEST(LaGeqrf, StackedTriMatchesDenseOracle) {
+    // geqrf_stacked_tri + ungqr_stacked_tri on W = [A; I] must agree with
+    // the dense set_identity + geqrf + ungqr oracle to factorization
+    // tolerance, for m > n and m = n, even and uneven tilings. The
+    // structured path gets an *uninitialized* W2 — proving no task reads a
+    // structurally-zero tile before writing it.
+    using T = TypeParam;
+    for (auto [m, n, nb] : {std::tuple{10, 6, 4}, {8, 8, 4}, {13, 7, 5}}) {
+        rt::Engine eng(3);
+        auto D = ref::random_dense<T>(m, n, 47);
+
+        auto rows = TiledMatrix<T>::chop(m, nb);
+        auto cols = TiledMatrix<T>::chop(n, nb);
+        int const mt1 = static_cast<int>(rows.size());
+        auto wrows = rows;
+        wrows.insert(wrows.end(), cols.begin(), cols.end());
+
+        // Dense oracle.
+        TiledMatrix<T> Wo(wrows, cols);
+        auto Wo1 = Wo.sub(0, 0, mt1, Wo.nt());
+        test::dense_to_tiled(D, Wo1);
+        la::set_identity(eng, Wo.sub(mt1, 0, Wo.nt(), Wo.nt()));
+        auto To = la::alloc_qr_t(Wo);
+        la::geqrf(eng, Wo, To);
+        TiledMatrix<T> Qo(wrows, cols);
+        la::ungqr(eng, Wo, To, Qo);
+        eng.wait();
+
+        // Structured path; garbage-fill W2 to catch reads of "zero" tiles.
+        TiledMatrix<T> Ws(wrows, cols);
+        auto Ws1 = Ws.sub(0, 0, mt1, Ws.nt());
+        test::dense_to_tiled(D, Ws1);
+        la::set(eng, T(7), T(-3), Ws.sub(mt1, 0, Ws.nt(), Ws.nt()));
+        auto Ts = la::alloc_qr_t(Ws);
+        la::geqrf_stacked_tri(eng, Ws, mt1, T(1), Ts);
+        TiledMatrix<T> Qs(wrows, cols);
+        la::ungqr_stacked_tri(eng, Ws, mt1, Ts, Qs);
+        eng.wait();
+
+        auto Qod = ref::to_dense(Qo);
+        auto Qsd = ref::to_dense(Qs);
+        auto const tol = test::tol<T>(1000) * (m + n);
+        EXPECT_LE(ref::orthogonality(Qsd), tol) << "m=" << m << " n=" << n;
+        EXPECT_LE(ref::diff_fro(Qsd, Qod), tol) << "m=" << m << " n=" << n;
+
+        // R factors agree (compare upper triangles of W's top block).
+        auto Wod = ref::to_dense(Wo);
+        auto Wsd = ref::to_dense(Ws);
+        real_t<T> rerr(0);
+        for (int j = 0; j < n; ++j)
+            for (int i = 0; i <= j; ++i)
+                rerr += abs_sq(Wsd(i, j) - Wod(i, j));
+        EXPECT_LE(std::sqrt(rerr), tol * (1 + ref::norm_fro(D)))
+            << "m=" << m << " n=" << n;
+
+        // Q2 = R^{-1} must come out block upper triangular: everything
+        // strictly below the global diagonal of the bottom block is zero.
+        for (int j = 0; j < n; ++j)
+            for (int i = j + 1; i < n; ++i)
+                EXPECT_EQ(Qsd(m + i, j), T(0)) << i << "," << j;
+    }
+}
+
+TYPED_TEST(LaGeqrf, StackedTriReconstructs) {
+    // Q R == [A; I] directly from the structured factorization.
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const m = 9, n = 6, nb = 4;
+    auto D = ref::random_dense<T>(m, n, 48);
+
+    auto rows = TiledMatrix<T>::chop(m, nb);
+    auto cols = TiledMatrix<T>::chop(n, nb);
+    int const mt1 = static_cast<int>(rows.size());
+    auto wrows = rows;
+    wrows.insert(wrows.end(), cols.begin(), cols.end());
+    TiledMatrix<T> W(wrows, cols);
+    auto W1 = W.sub(0, 0, mt1, W.nt());
+    test::dense_to_tiled(D, W1);
+    auto Tm = la::alloc_qr_t(W);
+    la::geqrf_stacked_tri(eng, W, mt1, T(1), Tm);
+    TiledMatrix<T> Q(wrows, cols);
+    la::ungqr_stacked_tri(eng, W, mt1, Tm, Q);
+    eng.wait();
+
+    auto Qd = ref::to_dense(Q);
+    auto Wd = ref::to_dense(W);
+    ref::Dense<T> R(n, n);
+    for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j; ++i)
+            R(i, j) = Wd(i, j);
+    auto QR = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), Qd, R);
+    ref::Dense<T> Orig(m + n, n);
+    for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < m; ++i)
+            Orig(i, j) = D(i, j);
+        Orig(m + j, j) = T(1);
+    }
+    EXPECT_LE(ref::diff_fro(QR, Orig),
+              test::tol<T>(1000) * (1 + ref::norm_fro(Orig)));
+}
+
+TYPED_TEST(LaGeqrf, AllocQrTSizesShortRows) {
+    // A rectangular matrix with a short bottom row tile: the T workspace
+    // must still hold a full panel-width factor for every tsqrt row (a
+    // short folded tile produces one reflector per panel column), while
+    // the short diagonal row itself needs only min(mb, nb) rows. This is a
+    // regression test for the over/under-allocation in alloc_qr_t.
+    using T = TypeParam;
+    int const m = 14, n = 14, nb = 4;  // rows: 4,4,4,2
+    auto D = ref::random_dense<T>(m, n, 49);
+    auto A = ref::to_tiled(D, nb);
+    auto Tm = la::alloc_qr_t(A);
+    // Row 3 is 2 rows tall but is tsqrt-folded by panels 0..2 (width 4).
+    EXPECT_EQ(Tm.tile_mb(3), 4);
+    // Row 0 only holds its own geqrt factor: full nb.
+    EXPECT_EQ(Tm.tile_mb(0), 4);
+    rt::Engine eng(3);
+    la::geqrf(eng, A, Tm);
+    TiledMatrix<T> Q(m, n, nb);
+    la::ungqr(eng, A, Tm, Q);
+    eng.wait();
+    EXPECT_LE(ref::orthogonality(ref::to_dense(Q)), test::tol<T>(500) * m);
+}
+
 TYPED_TEST(LaGeqrf, UnmqrAppliesQh) {
     // unmqr(ConjTrans) on the original A must reproduce [R; 0].
     using T = TypeParam;

@@ -5,9 +5,14 @@
 
 #include <vector>
 
+#include "blas/kernel/stats.hh"
 #include "common/flops.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/util.hh"
+#include "perf/cost_model.hh"
 #include "perf/qdwh_model.hh"
 #include "perf/sched_report.hh"
+#include "test_util.hh"
 
 using namespace tbp::perf;
 
@@ -26,6 +31,142 @@ TEST(PerfModel, OpStreamFlopsMatchPaperFormula) {
         // corresponding band.
         EXPECT_GE(sum, 0.85 * model) << "it_qr=" << qr << " it_chol=" << ch;
         EXPECT_LE(sum, 1.05 * model) << "it_qr=" << qr << " it_chol=" << ch;
+    }
+}
+
+TEST(PerfModel, StructuredOpStreamMatchesStructuredFormula) {
+    // With structured QR enabled, the op-stream sum must track the 17/3 n^3
+    // per-QR-iteration model instead of the dense 26/3 n^3 one.
+    std::int64_t const n = 20000;
+    for (auto [qr, ch] : {std::pair{3, 3}, {5, 1}}) {
+        auto ops = qdwh_ops(n, 320, qr, ch, /*structured_qr=*/true);
+        double sum = 0;
+        for (auto const& op : ops)
+            sum += op.update_flops + op.panel_flops;
+        double const model = tbp::flops::qdwh_model_structured(
+            static_cast<double>(n), qr, ch);
+        EXPECT_GE(sum, 0.85 * model) << "it_qr=" << qr;
+        EXPECT_LE(sum, 1.05 * model) << "it_qr=" << qr;
+        // Structured must be strictly cheaper than dense when QR iterations
+        // are present.
+        auto dense = qdwh_ops(n, 320, qr, ch, /*structured_qr=*/false);
+        double dsum = 0;
+        for (auto const& op : dense)
+            dsum += op.update_flops + op.panel_flops;
+        if (qr > 0)
+            EXPECT_LT(sum, dsum);
+    }
+}
+
+namespace {
+
+/// Run one stacked-QR factor + Q generation (dense oracle or structured) on
+/// a live engine and return the kernel counter delta.
+template <typename T>
+double measured_stacked_qr_flops(std::vector<int> const& rows,
+                                 std::vector<int> const& cols,
+                                 bool structured) {
+    using namespace tbp;
+    rt::Engine eng(3);
+    int const mt1 = static_cast<int>(rows.size());
+    auto wrows = rows;
+    wrows.insert(wrows.end(), cols.begin(), cols.end());
+    int m = 0, n = 0;
+    for (int r : rows) m += r;
+    for (int c : cols) n += c;
+    auto D = ref::random_dense<T>(m, n, 77);
+    TiledMatrix<T> W(wrows, cols);
+    auto Wtop = W.sub(0, 0, mt1, W.nt());
+    test::dense_to_tiled(D, Wtop);
+    auto Tm = la::alloc_qr_t(W);
+    TiledMatrix<T> Q(wrows, cols);
+    double const before = blas::kernel::flops_performed();
+    if (structured) {
+        la::geqrf_stacked_tri(eng, W, mt1, T(1), Tm);
+        la::ungqr_stacked_tri(eng, W, mt1, Tm, Q);
+    } else {
+        la::set_identity(eng, W.sub(mt1, 0, W.nt(), W.nt()));
+        la::geqrf(eng, W, Tm);
+        la::ungqr(eng, W, Tm, Q);
+    }
+    eng.wait();
+    return blas::kernel::flops_performed() - before;
+}
+
+}  // namespace
+
+TEST(PerfModel, StackedQrKernelFlopsReplayIsExact) {
+    // stacked_qr_kernel_flops replays the submission loops with the same
+    // per-call uint64 truncation as the kernel counter, so the prediction
+    // must equal the measured delta EXACTLY — for both paths, both scalar
+    // weights, and uneven tilings. This is what keeps the bench JSON's
+    // model-match field honest.
+    using tbp::fma_flops;
+    for (auto const& [rows, cols] :
+         {std::pair<std::vector<int>, std::vector<int>>{{4, 4, 4}, {4, 4}},
+          {{5, 5, 3}, {5, 3}},
+          {{4, 4}, {4, 4}}}) {
+        for (bool structured : {false, true}) {
+            double const wd = fma_flops<double>() / 2.0;
+            EXPECT_EQ(measured_stacked_qr_flops<double>(rows, cols, structured),
+                      stacked_qr_kernel_flops(rows, cols, structured, wd))
+                << "double structured=" << structured;
+            double const wz = fma_flops<std::complex<float>>() / 2.0;
+            EXPECT_EQ(measured_stacked_qr_flops<std::complex<float>>(
+                          rows, cols, structured),
+                      stacked_qr_kernel_flops(rows, cols, structured, wz))
+                << "complex structured=" << structured;
+        }
+    }
+}
+
+TEST(PerfModel, QrTaskCountsMatchEngineDag) {
+    // qr_task_counts replays the submission loops, so its total must equal
+    // the traced engine's executed-task count for factor + generate.
+    using namespace tbp;
+    using T = double;
+    for (auto const& [rows, cols] :
+         {std::pair<std::vector<int>, std::vector<int>>{{4, 4, 4}, {4, 4}},
+          {{5, 5, 3}, {5, 3}}}) {
+        for (bool structured : {false, true}) {
+            rt::Engine eng(3);
+            eng.set_trace(true);
+            int const mt1 = static_cast<int>(rows.size());
+            int const nt = static_cast<int>(cols.size());
+            auto wrows = rows;
+            wrows.insert(wrows.end(), cols.begin(), cols.end());
+            int m = 0, n = 0;
+            for (int r : rows) m += r;
+            for (int c : cols) n += c;
+            auto D = ref::random_dense<T>(m, n, 78);
+            TiledMatrix<T> W(wrows, cols);
+            auto Wtop = W.sub(0, 0, mt1, W.nt());
+            test::dense_to_tiled(D, Wtop);
+            auto Tm = la::alloc_qr_t(W);
+            TiledMatrix<T> Q(wrows, cols);
+            eng.wait();  // drain the fill tasks before counting
+            auto const fill = sched_report(eng).dag.tasks;
+            if (structured) {
+                la::geqrf_stacked_tri(eng, W, mt1, T(1), Tm);
+                la::ungqr_stacked_tri(eng, W, mt1, Tm, Q);
+            } else {
+                la::set_identity(eng, W.sub(mt1, 0, W.nt(), W.nt()));
+                la::geqrf(eng, W, Tm);
+                la::ungqr(eng, W, Tm, Q);
+            }
+            eng.wait();
+            auto const counts = qr_task_counts(mt1, nt, structured);
+            EXPECT_EQ(static_cast<std::int64_t>(sched_report(eng).dag.tasks -
+                                                fill),
+                      counts.total())
+                << "structured=" << structured << " mt1=" << mt1;
+            // Structured must also submit fewer kernel tasks overall than
+            // the dense oracle on the same grid (the skipped-zero-tile win).
+            if (structured) {
+                auto const dense = qr_task_counts(mt1, nt, false);
+                EXPECT_LT(counts.total(), dense.total());
+            }
+        }
     }
 }
 
