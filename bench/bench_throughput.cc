@@ -1,0 +1,350 @@
+// bench_throughput — batched "polar as a service" throughput under
+// open-loop Poisson arrivals (service layer, src/service/).
+//
+// What it measures and checks:
+//   - jobs/sec and p50/p99 latency per QoS class (Latency vs Bulk) for a
+//     mixed qdwh/zolopd/posv/geqrf workload across all four scalar types;
+//   - an A/B of the QoS scheduler against a FIFO baseline under bulk
+//     overload: Latency-class p99 must be measurably below FIFO's;
+//   - zero cross-job corruption: every successful job's output bytes are
+//     compared bit-for-bit against a single-job oracle run of the same
+//     spec (counter-based generation + per-job sequential engines make
+//     outputs a pure function of the spec);
+//   - failure containment: deliberately failing specs (non-convergence,
+//     non-HPD pivot, invalid dimensions) must yield JobResult errors while
+//     every other job completes.
+//
+// Usage:
+//   bench_throughput [--smoke] [--jobs N] [--json PATH]
+//
+// --smoke runs inside ctest (label "service"): >= 1000 mixed jobs, exits
+// nonzero on any oracle mismatch, unexpected status, or a QoS p99 that is
+// not below the FIFO baseline. Results land in BENCH_throughput.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/timer.hh"
+#include "service/service.hh"
+
+using namespace tbp;
+
+namespace {
+
+struct SpecCase {
+    svc::JobSpec spec;
+    Status expect = Status::Ok;
+};
+
+// Mixed workload table: small problems across every kind and scalar type,
+// tall and square shapes, multi-tile and single-tile (nb >= n) tilings,
+// plus three deliberate failures. Job i runs cases[i % cases.size()].
+std::vector<SpecCase> make_cases() {
+    using svc::JobKind;
+    std::vector<SpecCase> cs;
+    auto add = [&](JobKind k, char t, std::int64_t m, std::int64_t n, int nb,
+                   double cond) {
+        SpecCase c;
+        c.spec.kind = k;
+        c.spec.type = t;
+        c.spec.m = m;
+        c.spec.n = n;
+        c.spec.nb = nb;
+        c.spec.cond = cond;
+        c.spec.seed = 1000 + cs.size();
+        if (k == JobKind::ZoloPd)
+            c.spec.r = 2;
+        cs.push_back(c);
+    };
+    add(JobKind::Qdwh, 'd', 16, 16, 8, 1e6);
+    add(JobKind::Qdwh, 's', 24, 16, 8, 1e3);
+    add(JobKind::Qdwh, 'z', 12, 12, 4, 1e4);
+    add(JobKind::Qdwh, 'c', 16, 16, 16, 1e2);  // single tile, nb >= n
+    add(JobKind::ZoloPd, 'd', 16, 16, 8, 1e4);
+    add(JobKind::ZoloPd, 'c', 12, 12, 12, 1e2);  // single tile
+    add(JobKind::Geqrf, 'd', 24, 16, 8, 0);
+    add(JobKind::Geqrf, 'z', 16, 12, 4, 0);
+    add(JobKind::Geqrf, 's', 16, 16, 16, 0);  // single tile
+    add(JobKind::Posv, 'd', 2, 16, 8, 0);     // m = nrhs for posv
+    add(JobKind::Posv, 'c', 1, 12, 12, 0);    // single tile
+
+    // Deliberate failures: the batch must absorb all three.
+    {
+        SpecCase c;  // qdwh that cannot converge in one iteration
+        c.spec.kind = JobKind::Qdwh;
+        c.spec.m = c.spec.n = 16;
+        c.spec.nb = 8;
+        c.spec.cond = 1e8;
+        c.spec.max_iter = 1;
+        c.spec.seed = 7001;
+        c.expect = Status::NotConverged;
+        cs.push_back(c);
+    }
+    {
+        SpecCase c;  // indefinite posv input: potrf throws mid-iteration
+        c.spec.kind = JobKind::Posv;
+        c.spec.m = 1;
+        c.spec.n = 16;
+        c.spec.nb = 8;
+        c.spec.cond = -1;
+        c.spec.seed = 7002;
+        c.expect = Status::NumericalError;
+        cs.push_back(c);
+    }
+    {
+        SpecCase c;  // wide matrix: rejected at admission validation
+        c.spec.kind = JobKind::Qdwh;
+        c.spec.m = 8;
+        c.spec.n = 16;
+        c.spec.nb = 8;
+        c.spec.seed = 7003;
+        c.expect = Status::InvalidArgument;
+        cs.push_back(c);
+    }
+    return cs;
+}
+
+struct Oracle {
+    std::vector<std::byte> u, h;
+    Status status = Status::Ok;
+    double secs = 0;
+};
+
+// Single-job oracle: run the provider exactly as a service worker would
+// (private sequential engine, private workspace) and keep the bytes.
+Oracle run_oracle(SpecCase const& c) {
+    Oracle o;
+    auto reg = svc::ProviderRegistry::builtin();
+    svc::Workspace ws;
+    svc::JobResult res;
+    Timer t;
+    if (svc::validate(c.spec) != Status::Ok) {
+        o.status = Status::InvalidArgument;
+        return o;
+    }
+    try {
+        rt::Engine eng(1, rt::Mode::Sequential);
+        (*reg.find(c.spec.kind))(eng, c.spec, ws, res);
+        o.status = res.status;
+    } catch (Error const&) {
+        o.status = Status::NumericalError;
+    }
+    o.secs = t.elapsed();
+    if (o.status == Status::Ok) {
+        o.u.assign(ws.data(svc::Workspace::OutU),
+                   ws.data(svc::Workspace::OutU) + ws.used(svc::Workspace::OutU));
+        o.h.assign(ws.data(svc::Workspace::OutH),
+                   ws.data(svc::Workspace::OutH) + ws.used(svc::Workspace::OutH));
+    }
+    return o;
+}
+
+double percentile(std::vector<double> v, double p) {
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    auto idx = static_cast<size_t>(p * (static_cast<double>(v.size()) - 1));
+    return v[idx];
+}
+
+struct ClassStats {
+    std::uint64_t jobs = 0;
+    double p50 = 0, p99 = 0;
+};
+
+struct RunOut {
+    double wall = 0;
+    double jobs_per_sec = 0;
+    ClassStats latency, bulk;
+    std::uint64_t mismatches = 0;       ///< oracle byte or status mismatches
+    std::uint64_t expected_failures = 0;
+    std::size_t workspaces = 0;
+};
+
+// One full service run: Poisson arrivals at `rate` jobs/sec, every 16th
+// job in the Latency class, verification of every result against the
+// oracle table.
+RunOut run_batch(std::vector<SpecCase> const& cases,
+                 std::vector<Oracle> const& oracles, int jobs, int threads,
+                 double rate, bool fifo) {
+    rt::Engine eng(threads);
+    svc::ServiceOptions so;
+    so.fifo = fifo;
+    svc::PolarService service(eng, so);
+
+    std::vector<svc::JobHandle> handles;
+    handles.reserve(static_cast<size_t>(jobs));
+    CounterRng arrivals(0xA221);
+    double const t0 = wall_time();
+    double t_arr = 0;
+    for (int i = 0; i < jobs; ++i) {
+        auto const d = static_cast<size_t>(i) % cases.size();
+        svc::JobSpec s = cases[d].spec;
+        s.cls = (i % 16 == 0) ? svc::JobClass::Latency : svc::JobClass::Bulk;
+        double const u = arrivals.uniform(static_cast<std::uint64_t>(i));
+        t_arr += -std::log1p(-std::min(u, 0.999999)) / rate;
+        while (wall_time() - t0 < t_arr)
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+        handles.push_back(service.submit(s));
+    }
+    service.wait_all();
+
+    RunOut out;
+    std::vector<double> lat_l, lat_b;
+    double t_last = t0;
+    for (int i = 0; i < jobs; ++i) {
+        auto const d = static_cast<size_t>(i) % cases.size();
+        auto const& res = handles[static_cast<size_t>(i)].result();
+        t_last = std::max(t_last, res.t_end);
+        (res.cls == svc::JobClass::Latency ? lat_l : lat_b)
+            .push_back(res.latency());
+        if (cases[d].expect != Status::Ok) {
+            // A failing job must report exactly its failure — and nothing
+            // else in the batch is allowed to be dragged down by it.
+            if (res.status == cases[d].expect)
+                ++out.expected_failures;
+            else
+                ++out.mismatches;
+            continue;
+        }
+        if (!res.ok()) {
+            ++out.mismatches;
+            continue;
+        }
+        auto const& h = handles[static_cast<size_t>(i)];
+        bool const same_u =
+            h.output_bytes(svc::Workspace::OutU) == oracles[d].u.size()
+            && std::memcmp(h.output(svc::Workspace::OutU), oracles[d].u.data(),
+                           oracles[d].u.size()) == 0;
+        bool const same_h =
+            h.output_bytes(svc::Workspace::OutH) == oracles[d].h.size()
+            && std::memcmp(h.output(svc::Workspace::OutH), oracles[d].h.data(),
+                           oracles[d].h.size()) == 0;
+        if (!same_u || !same_h)
+            ++out.mismatches;
+    }
+    out.wall = t_last - t0;
+    out.jobs_per_sec = out.wall > 0 ? jobs / out.wall : 0;
+    out.latency = {static_cast<std::uint64_t>(lat_l.size()),
+                   percentile(lat_l, 0.50), percentile(lat_l, 0.99)};
+    out.bulk = {static_cast<std::uint64_t>(lat_b.size()),
+                percentile(lat_b, 0.50), percentile(lat_b, 0.99)};
+    out.workspaces = service.stats().workspaces_created;
+    return out;
+}
+
+void report(char const* name, RunOut const& r, bench::JsonEmitter& out) {
+    std::printf("%-5s %7.0f jobs/s  wall %.2fs  latency-class p50 %7.2fms "
+                "p99 %7.2fms  bulk p50 %7.2fms p99 %7.2fms  ws %zu  "
+                "mismatch %llu\n",
+                name, r.jobs_per_sec, r.wall, r.latency.p50 * 1e3,
+                r.latency.p99 * 1e3, r.bulk.p50 * 1e3, r.bulk.p99 * 1e3,
+                r.workspaces,
+                static_cast<unsigned long long>(r.mismatches));
+    bench::JsonRecord rec;
+    rec.field("bench", "throughput").field("sched", name);
+    rec.field("jobs_per_sec", r.jobs_per_sec).field("wall_s", r.wall);
+    rec.field("latency_jobs", r.latency.jobs)
+        .field("latency_p50_s", r.latency.p50)
+        .field("latency_p99_s", r.latency.p99);
+    rec.field("bulk_jobs", r.bulk.jobs)
+        .field("bulk_p50_s", r.bulk.p50)
+        .field("bulk_p99_s", r.bulk.p99);
+    rec.field("oracle_mismatches", r.mismatches)
+        .field("expected_failures", r.expected_failures)
+        .field("workspaces_created",
+               static_cast<std::uint64_t>(r.workspaces));
+    out.add(rec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    int jobs = 2000;
+    bool jobs_set = false;
+    std::string json_path = "BENCH_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke")) {
+            smoke = true;
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+            jobs_set = true;
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke] [--jobs N] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (smoke && !jobs_set)
+        jobs = 1000;  // the smoke contract: >= 1000 mixed jobs
+
+    int const threads = bench::bench_threads();
+    bench::header("service", "batched polar-as-a-service throughput");
+
+    auto const cases = make_cases();
+    std::vector<Oracle> oracles;
+    double mean_t = 0;
+    int timed = 0;
+    for (auto const& c : cases) {
+        oracles.push_back(run_oracle(c));
+        if (oracles.back().status == Status::Ok) {
+            mean_t += oracles.back().secs;
+            ++timed;
+        }
+    }
+    mean_t = timed > 0 ? mean_t / timed : 1e-3;
+    // Open-loop overload: arrivals at ~2x the service capacity so a Bulk
+    // backlog builds and the QoS split has something to cut through.
+    double const rate =
+        std::min(2.0 * threads / std::max(mean_t, 1e-6), 2e5);
+    std::printf("threads %d  cases %zu  mean service %.3fms  arrival rate "
+                "%.0f jobs/s  jobs %d\n",
+                threads, cases.size(), mean_t * 1e3, rate, jobs);
+
+    auto const qos = run_batch(cases, oracles, jobs, threads, rate, false);
+    auto const fifo = run_batch(cases, oracles, jobs, threads, rate, true);
+
+    bench::JsonEmitter out;
+    report("qos", qos, out);
+    report("fifo", fifo, out);
+    double const ratio =
+        qos.latency.p99 > 0 ? fifo.latency.p99 / qos.latency.p99 : 0;
+    std::printf("latency-class p99: qos %.2fms vs fifo %.2fms (%.1fx)\n",
+                qos.latency.p99 * 1e3, fifo.latency.p99 * 1e3, ratio);
+    {
+        bench::JsonRecord rec;
+        rec.field("bench", "throughput").field("sched", "ab");
+        rec.field("fifo_over_qos_latency_p99", ratio);
+        out.add(rec);
+    }
+    out.write(json_path);
+
+    if (smoke) {
+        std::uint64_t const expect_fail_per_pass =
+            (static_cast<std::uint64_t>(jobs) + cases.size() - 1) / cases.size();
+        bool ok = true;
+        auto check = [&](bool cond, char const* what) {
+            if (!cond) {
+                std::printf("smoke FAIL: %s\n", what);
+                ok = false;
+            }
+        };
+        check(qos.mismatches == 0, "qos run had oracle/status mismatches");
+        check(fifo.mismatches == 0, "fifo run had oracle/status mismatches");
+        check(qos.expected_failures >= expect_fail_per_pass,
+              "deliberate failures missing from the qos run");
+        check(qos.latency.p99 < fifo.latency.p99,
+              "QoS latency-class p99 not below the FIFO baseline");
+        std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

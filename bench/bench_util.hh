@@ -126,16 +126,31 @@ public:
 
     std::string str() const { return "{" + body_ + "}"; }
 
+    /// RFC 8259 string escaping: quote, backslash, the common control-char
+    /// shorthands, and \u00XX for the rest of the C0 range. Anything else
+    /// (including UTF-8 multibyte sequences) passes through unchanged.
     static std::string quote(std::string const& s) {
+        static char const* hex = "0123456789abcdef";
         std::string out = "\"";
         for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            if (c == '\n') {
-                out += "\\n";
-                continue;
+            unsigned char const u = static_cast<unsigned char>(c);
+            switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\b': out += "\\b"; break;
+                case '\f': out += "\\f"; break;
+                case '\n': out += "\\n"; break;
+                case '\r': out += "\\r"; break;
+                case '\t': out += "\\t"; break;
+                default:
+                    if (u < 0x20) {
+                        out += "\\u00";
+                        out += hex[(u >> 4) & 0xf];
+                        out += hex[u & 0xf];
+                    } else {
+                        out += c;
+                    }
             }
-            out += c;
         }
         return out + "\"";
     }

@@ -1,10 +1,25 @@
 #include "common/error.hh"
 
-namespace tbp::detail {
+namespace tbp {
+
+char const* status_name(Status s) {
+    switch (s) {
+        case Status::Ok: return "ok";
+        case Status::InvalidArgument: return "invalid_argument";
+        case Status::ZeroMatrix: return "zero_matrix";
+        case Status::NotConverged: return "not_converged";
+        case Status::NumericalError: return "numerical_error";
+        case Status::InternalError: return "internal_error";
+    }
+    return "unknown";
+}
+
+namespace detail {
 
 void throw_require_failure(const char* cond, const char* file, int line) {
     throw Error(std::string("tbp_require failed: ") + cond + " at " + file +
                 ":" + std::to_string(line));
 }
 
-}  // namespace tbp::detail
+}  // namespace detail
+}  // namespace tbp

@@ -17,6 +17,46 @@ public:
     explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Non-throwing failure codes for the status-returning driver entry points
+/// (qdwh_status, zolo_pd_status) and the batched service layer, which must
+/// report a failing job without unwinding through shared machinery.
+enum class Status {
+    Ok = 0,
+    InvalidArgument,  ///< malformed input: empty matrix, m < n, bad shapes
+    ZeroMatrix,       ///< zero input has no unique polar factor
+    NotConverged,     ///< iteration hit max_iter before the tolerance
+    NumericalError,   ///< task-level numerical failure (e.g. non-HPD pivot)
+    InternalError,    ///< unexpected exception escaped a provider
+};
+
+char const* status_name(Status s);
+
+namespace detail {
+/// Map a non-Ok driver Status to the throwing API's tbp::Error with a clear,
+/// dimension-bearing message (the validation contract of qdwh/zolo_pd).
+[[noreturn]] inline void throw_status(char const* who, Status s,
+                                      long long m, long long n,
+                                      int max_iter) {
+    std::string const at = std::string(who) + ": ";
+    switch (s) {
+        case Status::InvalidArgument:
+            throw Error(at + "invalid dimensions m=" + std::to_string(m)
+                        + " n=" + std::to_string(n)
+                        + " (require a non-empty matrix with m >= n >= 1; "
+                          "H, when requested, must be n-by-n)");
+        case Status::ZeroMatrix:
+            throw Error(at + "zero matrix has no unique polar factor");
+        case Status::NotConverged:
+            throw Error(at + "did not converge within max_iter="
+                        + std::to_string(max_iter) + " iterations");
+        case Status::NumericalError:
+            throw Error(at + "numerical failure during iteration");
+        default:
+            throw Error(at + "internal error");
+    }
+}
+}  // namespace detail
+
 namespace detail {
 [[noreturn]] void throw_require_failure(const char* cond, const char* file, int line);
 }  // namespace detail

@@ -65,6 +65,7 @@ struct QdwhInfo {
     int iterations = 0;  ///< total iterations
     int it_qr = 0;       ///< QR-based iterations (Eq. 1)
     int it_chol = 0;     ///< Cholesky-based iterations (Eq. 2)
+    bool converged = false;     ///< iteration met the tolerance
     double norm2_estimate = 0;  ///< estimated ||A||_2 used for scaling
     double condest_l0 = 0;      ///< lower bound on sigma_min(A0)
     double conv = 0;            ///< final ||A_k - A_{k-1}||_F
@@ -72,19 +73,55 @@ struct QdwhInfo {
     std::vector<double> li_history;  ///< L_k after each parameter update
 };
 
-/// Polar decomposition A = U_p H by QDWH. A (m x n, m >= n) is overwritten
-/// by U_p. If opts.compute_h, H must be n-by-n with A's column tile sizes.
+namespace detail {
 template <typename T>
-QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
-              QdwhOptions const& opts = {}) {
-    using R = real_t<T>;
-    std::int64_t const m = A.m();
-    std::int64_t const n = A.n();
-    tbp_require(m >= n && n >= 1);
-    if (opts.compute_h)
-        tbp_require(H.m() == n && H.n() == n);
+Status qdwh_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                 QdwhInfo& info, QdwhOptions const& opts);
+}  // namespace detail
 
-    QdwhInfo info;
+/// Status-returning polar decomposition A = U_p H by QDWH (the batched
+/// service entry point: a failing job must report, not unwind through the
+/// shared engine). A (m x n, m >= n) is overwritten by U_p; if
+/// opts.compute_h, H must be n-by-n with A's column tile sizes. Validates
+/// inputs up front (InvalidArgument) instead of failing downstream in
+/// geqrf; returns ZeroMatrix / NotConverged / NumericalError in place of
+/// the throwing wrapper's tbp::Error. `info` is always filled with
+/// whatever progress was made.
+template <typename T>
+Status qdwh_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                   QdwhInfo& info, QdwhOptions const& opts = {}) {
+    info = QdwhInfo{};
+    if (A.empty() || A.m() < A.n())
+        return Status::InvalidArgument;
+    std::int64_t const n = A.n();
+    if (opts.compute_h && (H.empty() || H.m() != n || H.n() != n))
+        return Status::InvalidArgument;
+    if (opts.max_iter < 1)
+        return Status::InvalidArgument;
+
+    try {
+        return detail::qdwh_impl(eng, A, H, info, opts);
+    } catch (Error const&) {
+        // A task-level numerical failure (e.g. a non-HPD Cholesky pivot)
+        // surfaced at a synchronization point. Quiesce so the engine is
+        // clean for the next job, then report instead of rethrowing.
+        try {
+            eng.wait();
+        } catch (...) {
+        }
+        return Status::NumericalError;
+    }
+}
+
+namespace detail {
+
+/// Body of qdwh_status after validation; may throw tbp::Error from task
+/// synchronization points (caught and mapped by qdwh_status).
+template <typename T>
+Status qdwh_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                 QdwhInfo& info, QdwhOptions const& opts) {
+    using R = real_t<T>;
+    std::int64_t const n = A.n();
     double const flops0 = eng.flops_executed();
 
     R const eps = std::numeric_limits<R>::epsilon();
@@ -115,8 +152,10 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
 
     // --- Stage 1: two-norm estimate and scaling (lines 11-13) ------------
     R const alpha = cond::norm2est(eng, A);
-    if (alpha == R(0))
-        tbp_throw("qdwh: zero matrix has no unique polar factor");
+    if (alpha == R(0)) {
+        info.flops = eng.flops_executed() - flops0;
+        return Status::ZeroMatrix;
+    }
     info.norm2_estimate = static_cast<double>(alpha);
     la::scale(eng, from_real<T>(R(1) / alpha), A);
 
@@ -214,8 +253,13 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     if (cur != &A)
         la::copy(eng, *cur, A);
     info.conv = static_cast<double>(conv);
-    if (info.iterations >= opts.max_iter && (conv >= tol3 || std::abs(li - R(1)) >= tol1))
-        tbp_throw("qdwh: did not converge within max_iter iterations");
+    if (info.iterations >= opts.max_iter
+        && (conv >= tol3 || std::abs(li - R(1)) >= tol1)) {
+        eng.wait();
+        info.flops = eng.flops_executed() - flops0;
+        return Status::NotConverged;
+    }
+    info.converged = true;
 
     // --- Stage 4: H = U_p^H A (line 52) -----------------------------------
     if (opts.compute_h) {
@@ -229,6 +273,26 @@ QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     eng.wait();
 
     info.flops = eng.flops_executed() - flops0;
+    return Status::Ok;
+}
+
+}  // namespace detail
+
+/// Polar decomposition A = U_p H by QDWH. A (m x n, m >= n) is overwritten
+/// by U_p. If opts.compute_h, H must be n-by-n with A's column tile sizes.
+/// Throws tbp::Error with a clear message on invalid dimensions, a zero
+/// matrix, non-convergence, or a numerical failure; single-job callers keep
+/// this interface, the batched service uses qdwh_status.
+template <typename T>
+QdwhInfo qdwh(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+              QdwhOptions const& opts = {}) {
+    QdwhInfo info;
+    Status const s = qdwh_status(eng, A, H, info, opts);
+    if (s != Status::Ok)
+        detail::throw_status("qdwh", s,
+                             A.empty() ? 0 : static_cast<long long>(A.m()),
+                             A.empty() ? 0 : static_cast<long long>(A.n()),
+                             opts.max_iter);
     return info;
 }
 

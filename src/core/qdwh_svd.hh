@@ -34,6 +34,11 @@ struct QdwhSvdResult {
 template <typename T>
 QdwhSvdResult<T> qdwh_svd(rt::Engine& eng, TiledMatrix<T> A,
                           QdwhOptions const& opts = {}) {
+    if (A.empty() || A.m() < A.n())
+        detail::throw_status("qdwh_svd", Status::InvalidArgument,
+                             A.empty() ? 0 : static_cast<long long>(A.m()),
+                             A.empty() ? 0 : static_cast<long long>(A.n()),
+                             opts.max_iter);
     std::int64_t const m = A.m();
     std::int64_t const n = A.n();
 
@@ -89,8 +94,11 @@ struct QdwhEigResult {
 template <typename T>
 QdwhEigResult<T> qdwh_eig(rt::Engine& eng, TiledMatrix<T> A) {
     using R = real_t<T>;
+    if (A.empty() || A.m() != A.n())
+        tbp_throw("qdwh_eig: require a non-empty square Hermitian matrix, got "
+                  + std::to_string(A.empty() ? 0 : A.m()) + "-by-"
+                  + std::to_string(A.empty() ? 0 : A.n()));
     std::int64_t const n = A.n();
-    tbp_require(A.m() == n);
 
     QdwhEigResult<T> out;
     auto Ad = ref::to_dense(A);

@@ -61,6 +61,7 @@ struct ZoloInfo {
     int terms = 0;           ///< r
     int qr_solves = 0;       ///< stacked-QR term evaluations
     int chol_solves = 0;     ///< Cholesky term evaluations
+    bool converged = false;  ///< iteration met the tolerance
     double norm2_estimate = 0;
     double condest_l0 = 0;
     double conv = 0;
@@ -150,21 +151,47 @@ inline ZoloCoeffs zolo_coeffs(double l, int r) {
     return z;
 }
 
+template <typename T>
+Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                 ZoloInfo& info, ZoloOptions const& opts);
+
 }  // namespace detail
 
-/// Polar decomposition A = U_p H by Zolo-PD. Same contract as qdwh():
-/// A (m x n, m >= n) is overwritten by U_p; H optional n x n.
+/// Status-returning Zolo-PD (same failure contract as qdwh_status):
+/// validates up front, reports ZeroMatrix / NotConverged / NumericalError
+/// instead of throwing. The batched service entry point.
 template <typename T>
-ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
-                 ZoloOptions const& opts = {}) {
-    using R = real_t<T>;
-    std::int64_t const m = A.m();
+Status zolo_pd_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                      ZoloInfo& info, ZoloOptions const& opts = {}) {
+    info = ZoloInfo{};
+    if (A.empty() || A.m() < A.n())
+        return Status::InvalidArgument;
     std::int64_t const n = A.n();
-    tbp_require(m >= n && n >= 1);
-    if (opts.compute_h)
-        tbp_require(H.m() == n && H.n() == n);
+    if (opts.compute_h && (H.empty() || H.m() != n || H.n() != n))
+        return Status::InvalidArgument;
+    if (opts.r < 1 || opts.max_iter < 1)
+        return Status::InvalidArgument;
 
-    ZoloInfo info;
+    try {
+        return detail::zolo_impl(eng, A, H, info, opts);
+    } catch (Error const&) {
+        try {
+            eng.wait();
+        } catch (...) {
+        }
+        return Status::NumericalError;
+    }
+}
+
+namespace detail {
+
+/// Body of zolo_pd_status after validation; may throw tbp::Error from task
+/// synchronization points (caught and mapped by zolo_pd_status).
+template <typename T>
+Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                 ZoloInfo& info, ZoloOptions const& opts) {
+    using R = real_t<T>;
+    std::int64_t const n = A.n();
     info.terms = opts.r;
     double const flops0 = eng.flops_executed();
 
@@ -191,8 +218,10 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
 
     // Scale and estimate sigma_min as in QDWH.
     R const alpha = cond::norm2est(eng, A);
-    if (alpha == R(0))
-        tbp_throw("zolo_pd: zero matrix has no unique polar factor");
+    if (alpha == R(0)) {
+        info.flops = eng.flops_executed() - flops0;
+        return Status::ZeroMatrix;
+    }
     info.norm2_estimate = static_cast<double>(alpha);
     la::scale(eng, from_real<T>(R(1) / alpha), A);
 
@@ -292,8 +321,12 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     }
     info.conv = static_cast<double>(conv);
     if (info.iterations >= opts.max_iter
-        && (conv >= tol3 || std::abs(li - R(1)) >= tol1))
-        tbp_throw("zolo_pd: did not converge within max_iter iterations");
+        && (conv >= tol3 || std::abs(li - R(1)) >= tol1)) {
+        eng.wait();
+        info.flops = eng.flops_executed() - flops0;
+        return Status::NotConverged;
+    }
+    info.converged = true;
 
     if (opts.compute_h) {
         la::gemm(eng, Op::ConjTrans, Op::NoTrans, T(1), A, Acpy, T(0), H);
@@ -305,6 +338,24 @@ ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     }
     eng.wait();
     info.flops = eng.flops_executed() - flops0;
+    return Status::Ok;
+}
+
+}  // namespace detail
+
+/// Polar decomposition A = U_p H by Zolo-PD. Same contract as qdwh():
+/// A (m x n, m >= n) is overwritten by U_p; H optional n x n. Throws
+/// tbp::Error on invalid input, a zero matrix, or non-convergence.
+template <typename T>
+ZoloInfo zolo_pd(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                 ZoloOptions const& opts = {}) {
+    ZoloInfo info;
+    Status const s = zolo_pd_status(eng, A, H, info, opts);
+    if (s != Status::Ok)
+        detail::throw_status("zolo_pd", s,
+                             A.empty() ? 0 : static_cast<long long>(A.m()),
+                             A.empty() ? 0 : static_cast<long long>(A.n()),
+                             opts.max_iter);
     return info;
 }
 

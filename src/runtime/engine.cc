@@ -13,6 +13,7 @@ struct Engine::Task {
     double flops = 0;
     int priority = 0;
     std::uint64_t id = 0;
+    JobId job = kAmbientJob;
     std::vector<std::uint64_t> dep_ids;
 
     // Scheduling state.
@@ -73,10 +74,11 @@ Engine::~Engine() {
 
 void Engine::submit(char const* name, double flops,
                     std::vector<Access> accesses, std::function<void()> fn,
-                    int priority) {
+                    int priority, JobId job) {
     if (mode_ == Mode::Sequential) {
         double const t0 = wall_time();
-        fn();
+        if (!job_poisoned(job))
+            fn();  // exceptions propagate straight to the (inline) caller
         double const t1 = wall_time();
         tasks_executed_.fetch_add(1, std::memory_order_relaxed);
         {
@@ -96,6 +98,7 @@ void Engine::submit(char const* name, double flops,
     t->name = name;
     t->flops = flops;
     t->priority = priority;
+    t->job = job;
     t->id = next_id_++;
 
     // Derive dependencies superscalar-style from the access list. A task
@@ -315,21 +318,24 @@ void Engine::worker_loop(int worker_id) {
 
 void Engine::run_task(Task* t, int worker_id, bool stolen) {
     double const t0 = wall_time();
-    // Once an error is latched, drain the DAG without executing bodies:
-    // the task still retires and releases successors so wait() terminates,
-    // but nothing computes on poisoned data.
-    if (!error_latched_.load(std::memory_order_acquire)) {
+    // Once an error is latched for this task's job, drain that job's DAG
+    // without executing bodies: the task still retires and releases
+    // successors so wait() terminates, but nothing computes on poisoned
+    // data. Tasks of other jobs are unaffected — a failing batch job must
+    // not abort its siblings. The common no-error case costs one relaxed
+    // atomic load (poisoned_jobs_ == 0 skips the map lookup).
+    if (!job_poisoned(t->job)) {
         try {
             t->fn();
         } catch (...) {
-            {
-                std::lock_guard<std::mutex> lk(error_mtx_);
-                if (!first_error_)
-                    first_error_ = std::current_exception();
-            }
-            error_latched_.store(true, std::memory_order_release);
+            poison_job(t->job, std::current_exception());
         }
     }
+    // Release the body eagerly: the Task skeleton must survive until the
+    // epoch reset in wait() for dependency bookkeeping, but the closure's
+    // captures (job state, workspaces) should not. A service that never
+    // calls wait() would otherwise pin every job's arena until shutdown.
+    t->fn = nullptr;
     double const t1 = wall_time();
 
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -372,14 +378,36 @@ void Engine::wait() {
     // Fresh dependency epoch; tasks are retired.
     objects_.clear();
     all_tasks_.clear();
-    std::exception_ptr err;
-    {
-        std::lock_guard<std::mutex> lk(error_mtx_);
-        std::swap(err, first_error_);
-        error_latched_.store(false, std::memory_order_relaxed);
-    }
-    if (err)
+    // Only the ambient job's error surfaces here; explicit jobs keep their
+    // latch until take_job_error() so a poisoned batch job cannot abort an
+    // unrelated caller's wait().
+    if (auto err = take_job_error(kAmbientJob))
         std::rethrow_exception(err);
+}
+
+std::exception_ptr Engine::take_job_error(JobId job) {
+    std::lock_guard<std::mutex> lk(error_mtx_);
+    auto it = job_errors_.find(job);
+    if (it == job_errors_.end())
+        return nullptr;
+    std::exception_ptr err = it->second;
+    job_errors_.erase(it);
+    poisoned_jobs_.fetch_sub(1, std::memory_order_release);
+    return err;
+}
+
+void Engine::poison_job(JobId job, std::exception_ptr err) {
+    std::lock_guard<std::mutex> lk(error_mtx_);
+    auto const inserted = job_errors_.emplace(job, std::move(err)).second;
+    if (inserted)
+        poisoned_jobs_.fetch_add(1, std::memory_order_release);
+}
+
+bool Engine::job_poisoned(JobId job) const {
+    if (poisoned_jobs_.load(std::memory_order_acquire) == 0)
+        return false;
+    std::lock_guard<std::mutex> lk(error_mtx_);
+    return job_errors_.count(job) != 0;
 }
 
 void Engine::op_fence() {

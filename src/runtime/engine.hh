@@ -42,13 +42,20 @@
 // panel tasks, so trailing-matrix updates cannot starve the panel chain.
 // Priorities are a scheduling hint only; dependency order always wins.
 //
-// Error propagation contract: the first exception thrown by any task is
-// latched and rethrown by the next wait(). Once an error is latched, the
-// bodies of subsequently dequeued tasks are skipped (the tasks still retire
-// and release their successors, so wait() terminates and the dependency
-// epoch stays consistent) — the DAG drains quickly instead of computing an
-// entire epoch on poisoned data. wait() clears the latch; the engine is
-// reusable afterwards.
+// Error propagation contract: errors are latched per *job*. Every task
+// belongs to a job (the optional JobId argument of submit(); the default,
+// kAmbientJob = 0, is the ordinary single-algorithm case). The first
+// exception thrown by a task of a job poisons that job: the bodies of its
+// subsequently dequeued tasks are skipped (the tasks still retire and
+// release their successors, so wait() terminates and the dependency epoch
+// stays consistent) — the job's DAG drains quickly instead of computing on
+// poisoned data, while tasks of every other job keep executing normally.
+// The ambient job's error is rethrown (and cleared) by the next wait(),
+// preserving the single-job contract; errors of explicit jobs (new_job())
+// are never rethrown by wait() and are claimed with take_job_error(). A
+// host can also poison a job directly via poison_job() — the batched
+// service layer uses this to fence off a job whose provider failed without
+// routing the exception through a task body.
 //
 // The engine can also record a trace (task names, flop counts, dependency
 // edges, start/end times, worker ids, priorities, whether the task was
@@ -77,6 +84,11 @@ enum class Mode { Sequential, TaskDataflow, ForkJoin };
 enum class Sched { GlobalQueue, WorkStealing };
 
 enum class AccessMode { Read, Write, ReadWrite };
+
+/// Error-scoping domain of a task (see header comment). Job 0 is the
+/// ambient job of plain submit() callers; explicit ids come from new_job().
+using JobId = std::uint64_t;
+inline constexpr JobId kAmbientJob = 0;
 
 /// One data access of a task: a key (tile data pointer) plus a mode.
 struct Access {
@@ -126,19 +138,39 @@ public:
     /// Submit a task. Must be called from a single submitter thread (the
     /// algorithm driver), as with OpenMP task regions. priority > 0 marks a
     /// critical-path task scheduled ahead of priority-0 work (see header).
+    /// `job` selects the error-scoping domain the task belongs to.
     void submit(char const* name, double flops, std::vector<Access> accesses,
-                std::function<void()> fn, int priority = 0);
+                std::function<void()> fn, int priority = 0,
+                JobId job = kAmbientJob);
 
     /// Convenience overload without cost metadata.
     void submit(char const* name, std::vector<Access> accesses,
-                std::function<void()> fn, int priority = 0) {
-        submit(name, 0.0, std::move(accesses), std::move(fn), priority);
+                std::function<void()> fn, int priority = 0,
+                JobId job = kAmbientJob) {
+        submit(name, 0.0, std::move(accesses), std::move(fn), priority, job);
     }
 
     /// Wait for every submitted task to finish. Rethrows the first exception
-    /// thrown by any task (and clears the error latch). Clears the
+    /// thrown by an *ambient-job* task (and clears that latch). Errors of
+    /// explicit jobs stay latched for take_job_error(). Clears the
     /// dependency table (a fresh epoch).
     void wait();
+
+    // --- job error scoping ------------------------------------------------
+    /// Fresh error-scoping domain for a batch job (thread-safe).
+    JobId new_job() { return next_job_.fetch_add(1, std::memory_order_relaxed); }
+
+    /// Claim and clear a job's latched error; nullptr if the job is clean.
+    /// The job id must not be reused for new tasks afterwards.
+    std::exception_ptr take_job_error(JobId job);
+
+    /// Latch `err` for `job` directly (first error wins): pending tasks of
+    /// that job drain with skipped bodies, exactly as if a task had thrown.
+    /// Safe from any thread, including from inside a running task.
+    void poison_job(JobId job, std::exception_ptr err);
+
+    /// True if the job currently has a latched (unclaimed) error.
+    bool job_poisoned(JobId job) const;
 
     /// Barrier inserted by the algorithm layer between high-level operations.
     /// A no-op under TaskDataflow (lookahead allowed); a full wait() under
@@ -213,9 +245,12 @@ private:
     std::mutex trace_mtx_;
     std::vector<TaskRecord> trace_;
 
-    std::mutex error_mtx_;
-    std::exception_ptr first_error_;          // guarded by error_mtx_
-    std::atomic<bool> error_latched_{false};  // fast-path flag for workers
+    // Per-job error latches. poisoned_jobs_ counts map entries so the
+    // run_task hot path stays a single atomic load while no job is poisoned.
+    mutable std::mutex error_mtx_;
+    std::unordered_map<JobId, std::exception_ptr> job_errors_;  // guarded
+    std::atomic<std::uint64_t> poisoned_jobs_{0};
+    std::atomic<JobId> next_job_{1};
 };
 
 }  // namespace tbp::rt

@@ -1,0 +1,126 @@
+// Per-job workspace arenas for the service layer, reusing the pack-arena
+// idiom of blas/kernel/arena.hh: named slots, monotonic growth, no
+// per-request allocation once warm. Where the kernel arena is thread-local,
+// these are pooled — a job checks a workspace out for its lifetime, so
+// concurrent jobs never share scratch, and completed jobs return their
+// (already-grown) buffers for the next admission to reuse.
+//
+// The slots hold the dense column-major staging copies of a job's outputs.
+// Tiled iteration workspaces live inside the solver call; what must outlive
+// it — the bytes the oracle comparison and the caller read — lives here.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace tbp::svc {
+
+class Workspace {
+public:
+    /// Output staging slots; grow monotonically, reused across checkouts.
+    enum Slot {
+        OutU = 0,  ///< primary output (U_p, the posv solution, explicit Q)
+        OutH,      ///< secondary output (the Hermitian factor H)
+        Scratch,   ///< provider-private staging
+        kNumSlots,
+    };
+
+    /// Bytes for `slot`, growing the slot if needed. Previous contents of
+    /// the slot are unspecified after a grow.
+    std::byte* get(Slot slot, std::size_t bytes) {
+        auto& v = slots_[slot];
+        if (v.size() < bytes)
+            v.resize(bytes);
+        used_[slot] = bytes;
+        return v.data();
+    }
+
+    template <typename E>
+    E* get_as(Slot slot, std::size_t count) {
+        static_assert(alignof(E) <= alignof(std::max_align_t));
+        return reinterpret_cast<E*>(get(slot, count * sizeof(E)));
+    }
+
+    std::byte const* data(Slot slot) const { return slots_[slot].data(); }
+
+    /// Bytes the current job requested in `slot` (0 if untouched).
+    std::size_t used(Slot slot) const { return used_[slot]; }
+
+    /// High-water capacity across all slots (pool reuse diagnostics).
+    std::size_t capacity() const {
+        std::size_t c = 0;
+        for (auto const& v : slots_)
+            c += v.size();
+        return c;
+    }
+
+    /// New checkout: forget the previous job's sizes, keep the capacity.
+    void reset() {
+        for (auto& u : used_)
+            u = 0;
+    }
+
+private:
+    std::vector<std::byte> slots_[kNumSlots];
+    std::size_t used_[kNumSlots] = {};
+};
+
+/// Thread-safe free-list of workspaces. checkout() hands back a
+/// shared_ptr whose deleter returns the workspace to the pool — and keeps
+/// the pool itself alive — so a JobHandle can hold its outputs past
+/// service shutdown and the buffers still recycle on destruction.
+class WorkspacePool : public std::enable_shared_from_this<WorkspacePool> {
+public:
+    static std::shared_ptr<WorkspacePool> make() {
+        return std::shared_ptr<WorkspacePool>(new WorkspacePool());
+    }
+
+    std::shared_ptr<Workspace> checkout() {
+        std::unique_ptr<Workspace> ws;
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            if (!free_.empty()) {
+                ws = std::move(free_.back());
+                free_.pop_back();
+            } else {
+                ws = std::make_unique<Workspace>();
+                ++created_;
+            }
+        }
+        ws->reset();
+        auto self = shared_from_this();
+        return std::shared_ptr<Workspace>(
+            ws.release(), [self](Workspace* w) { self->checkin(w); });
+    }
+
+    /// Workspaces ever constructed; a warm steady state stops growing this.
+    std::size_t created() const {
+        std::lock_guard<std::mutex> lk(mtx_);
+        return created_;
+    }
+
+    /// Workspaces currently idle in the free list.
+    std::size_t idle() const {
+        std::lock_guard<std::mutex> lk(mtx_);
+        return free_.size();
+    }
+
+private:
+    WorkspacePool() = default;
+
+    void checkin(Workspace* w) {
+        std::lock_guard<std::mutex> lk(mtx_);
+        free_.emplace_back(w);
+    }
+
+    mutable std::mutex mtx_;
+    std::vector<std::unique_ptr<Workspace>> free_;
+    std::size_t created_ = 0;
+};
+
+}  // namespace tbp::svc

@@ -1,0 +1,87 @@
+// Job model for the batched "polar as a service" front end (service.hh).
+//
+// A JobSpec names everything needed to run one solve reproducibly: the
+// solver kind, the QoS class, the scalar type, dimensions, tiling, and the
+// counter-based generator seed. Because generation is counter-based
+// (gen/matgen.hh) and each job executes on its own sequential engine, the
+// output bytes of a job are a pure function of its spec — the property the
+// throughput bench exploits to check batches bit-for-bit against a
+// single-job oracle.
+//
+// A JobResult carries the per-job outcome. A failing job reports through
+// Status + error text here; it never aborts the batch (service.hh).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+
+namespace tbp::svc {
+
+/// Solver kinds the built-in provider registry dispatches on.
+enum class JobKind {
+    Qdwh,    ///< polar decomposition, QDWH iteration (core/qdwh.hh)
+    ZoloPd,  ///< polar decomposition, Zolotarev rational iteration
+    Posv,    ///< Hermitian positive-definite solve (potrf + 2 trsm)
+    Geqrf,   ///< QR factorization + explicit Q generation
+};
+
+/// QoS classes mapped onto the engine's per-worker priority lanes:
+/// Latency jobs ride the high lane past any depth of Bulk backlog.
+enum class JobClass {
+    Latency,  ///< interactive: engine priority 1 (high lane)
+    Bulk,     ///< throughput: engine priority 0 (normal lane)
+};
+
+inline char const* job_kind_name(JobKind k) {
+    switch (k) {
+        case JobKind::Qdwh: return "qdwh";
+        case JobKind::ZoloPd: return "zolopd";
+        case JobKind::Posv: return "posv";
+        case JobKind::Geqrf: return "geqrf";
+    }
+    return "unknown";
+}
+
+inline char const* job_class_name(JobClass c) {
+    return c == JobClass::Latency ? "latency" : "bulk";
+}
+
+struct JobSpec {
+    JobKind kind = JobKind::Qdwh;
+    JobClass cls = JobClass::Bulk;
+    char type = 'd';  ///< scalar type: 's', 'd', 'c', 'z'
+    /// Rows (for Posv: number of right-hand sides, >= 1).
+    std::int64_t m = 0;
+    std::int64_t n = 0;  ///< columns (m >= n >= 1 for the factorizations)
+    int nb = 0;          ///< tile size, >= 1
+    std::uint64_t seed = 0;  ///< counter-RNG seed: same spec -> same bytes
+    /// Target condition number of the generated input. For Posv a negative
+    /// value requests an indefinite matrix (deliberate failure injection).
+    double cond = 1e6;
+    int max_iter = 0;  ///< 0 = solver default; 1 forces NotConverged paths
+    int r = 0;         ///< Zolo-PD partial-fraction terms; 0 = default
+};
+
+struct JobResult {
+    std::uint64_t id = 0;  ///< admission-order id assigned by the service
+    JobKind kind = JobKind::Qdwh;
+    JobClass cls = JobClass::Bulk;
+    Status status = Status::InternalError;
+    std::string error;  ///< non-empty iff status != Status::Ok
+
+    int iterations = 0;
+    bool converged = false;
+    double flops = 0;  ///< measured on the job's private engine
+
+    double t_submit = 0;  ///< admission wall time
+    double t_start = 0;   ///< body start (t_start - t_submit = queueing)
+    double t_end = 0;     ///< body end
+
+    bool ok() const { return status == Status::Ok; }
+    double latency() const { return t_end - t_submit; }
+};
+
+}  // namespace tbp::svc

@@ -1,0 +1,206 @@
+// Built-in providers for the service layer: qdwh, zolopd, posv, geqrf over
+// all four scalar types, dispatched on JobSpec::type.
+//
+// Every provider follows the same shape: generate the input reproducibly
+// from the spec's counter-RNG seed (gen/matgen.hh — same (dims, seed) gives
+// the same matrix regardless of tiling or schedule), solve on the job's
+// private engine, and stage the outputs as dense column-major bytes into
+// the job's workspace. Running each job on a sequential private engine
+// makes its output bytes a pure function of the spec, which is what lets
+// the bench compare a 1000-job concurrent batch bit-for-bit against
+// single-job oracle runs.
+//
+// Failure contract: solvers with status-returning entry points (qdwh,
+// zolopd) report through JobResult::status; posv/geqrf use the throwing
+// la:: calls and let tbp::Error escape to the service body, which maps it
+// to Status::NumericalError. Either way the batch continues.
+
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "core/qdwh.hh"
+#include "core/zolopd.hh"
+#include "gen/matgen.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/potrf.hh"
+#include "matrix/tiled_matrix.hh"
+#include "runtime/engine.hh"
+#include "service/registry.hh"
+
+namespace tbp::svc {
+
+/// Invoke f with a value of the scalar type named by `t` ('s','d','c','z');
+/// false if the tag is unknown.
+template <typename F>
+bool with_scalar_type(char t, F&& f) {
+    switch (t) {
+        case 's': f(float{}); return true;
+        case 'd': f(double{}); return true;
+        case 'c': f(std::complex<float>{}); return true;
+        case 'z': f(std::complex<double>{}); return true;
+        default: return false;
+    }
+}
+
+/// Spec validation shared by the service front end: a malformed spec turns
+/// into an InvalidArgument JobResult without ever reaching a provider.
+inline Status validate(JobSpec const& spec) {
+    bool const known_type = spec.type == 's' || spec.type == 'd'
+                            || spec.type == 'c' || spec.type == 'z';
+    if (!known_type || spec.nb < 1 || spec.n < 1 || spec.max_iter < 0
+        || spec.r < 0)
+        return Status::InvalidArgument;
+    if (spec.kind == JobKind::Posv) {
+        if (spec.m < 1)  // m is the right-hand-side count for posv
+            return Status::InvalidArgument;
+    } else if (spec.m < spec.n) {
+        return Status::InvalidArgument;
+    }
+    return Status::Ok;
+}
+
+namespace detail {
+
+/// Stage A as dense column-major scalars into `slot`; returns bytes used.
+template <typename T>
+std::size_t stage_dense(Workspace& ws, Workspace::Slot slot,
+                        TiledMatrix<T> A) {
+    std::int64_t const m = A.m();
+    std::int64_t const n = A.n();
+    T* p = ws.get_as<T>(slot, static_cast<std::size_t>(m * n));
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < m; ++i)
+            p[static_cast<std::size_t>(i + j * m)] = A.at(i, j);
+    return static_cast<std::size_t>(m * n) * sizeof(T);
+}
+
+template <typename T>
+void run_qdwh(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
+              JobResult& res) {
+    gen::MatGenOptions g;
+    g.cond = spec.cond;
+    g.seed = spec.seed;
+    TiledMatrix<T> A =
+        gen::cond_matrix<T>(eng, spec.m, spec.n, spec.nb, g);
+    TiledMatrix<T> H(spec.n, spec.n, spec.nb);
+    QdwhOptions qo;
+    if (spec.max_iter > 0)
+        qo.max_iter = spec.max_iter;
+    QdwhInfo info;
+    Status const s = qdwh_status(eng, A, H, info, qo);
+    res.status = s;
+    res.iterations = info.iterations;
+    res.converged = info.converged;
+    res.flops = info.flops;
+    if (s == Status::Ok) {
+        stage_dense(ws, Workspace::OutU, A);
+        stage_dense(ws, Workspace::OutH, H);
+    } else {
+        res.error = std::string(job_kind_name(spec.kind)) + ": "
+                    + status_name(s);
+    }
+}
+
+template <typename T>
+void run_zolopd(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
+                JobResult& res) {
+    gen::MatGenOptions g;
+    g.cond = spec.cond;
+    g.seed = spec.seed;
+    TiledMatrix<T> A =
+        gen::cond_matrix<T>(eng, spec.m, spec.n, spec.nb, g);
+    TiledMatrix<T> H(spec.n, spec.n, spec.nb);
+    ZoloOptions zo;
+    if (spec.max_iter > 0)
+        zo.max_iter = spec.max_iter;
+    if (spec.r > 0)
+        zo.r = spec.r;
+    ZoloInfo info;
+    Status const s = zolo_pd_status(eng, A, H, info, zo);
+    res.status = s;
+    res.iterations = info.iterations;
+    res.converged = info.converged;
+    res.flops = info.flops;
+    if (s == Status::Ok) {
+        stage_dense(ws, Workspace::OutU, A);
+        stage_dense(ws, Workspace::OutH, H);
+    } else {
+        res.error = std::string(job_kind_name(spec.kind)) + ": "
+                    + status_name(s);
+    }
+}
+
+template <typename T>
+void run_posv(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
+              JobResult& res) {
+    double const flops0 = eng.flops_executed();
+    TiledMatrix<T> A = gen::hpd_matrix<T>(eng, spec.n, spec.nb, spec.seed);
+    if (spec.cond < 0) {
+        // Failure-injection hook: shift the spectrum below zero so potrf
+        // meets a non-positive pivot (hpd_matrix builds B B^H + n I, whose
+        // smallest eigenvalue is ~n).
+        for (std::int64_t i = 0; i < spec.n; ++i)
+            A.at(i, i) -= from_real<T>(static_cast<real_t<T>>(2 * spec.n + 1));
+    }
+    TiledMatrix<T> B(spec.n, spec.m, spec.nb);
+    gen::fill_gaussian(eng, B, spec.seed ^ 0x9e3779b97f4a7c15ULL);
+    la::posv(eng, A, B);  // throws tbp::Error on a non-HPD pivot
+    eng.wait();
+    res.status = Status::Ok;
+    res.converged = true;
+    res.flops = eng.flops_executed() - flops0;
+    stage_dense(ws, Workspace::OutU, B);
+}
+
+template <typename T>
+void run_geqrf(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
+               JobResult& res) {
+    double const flops0 = eng.flops_executed();
+    TiledMatrix<T> A(spec.m, spec.n, spec.nb);
+    gen::fill_gaussian(eng, A, spec.seed);
+    TiledMatrix<T> Tm = la::alloc_qr_t(A);
+    la::geqrf(eng, A, Tm);
+    TiledMatrix<T> Q(spec.m, spec.n, spec.nb);
+    la::ungqr(eng, A, Tm, Q);
+    eng.wait();
+    res.status = Status::Ok;
+    res.converged = true;
+    res.flops = eng.flops_executed() - flops0;
+    stage_dense(ws, Workspace::OutU, Q);
+    stage_dense(ws, Workspace::OutH, A);  // reflectors + R for the oracle
+}
+
+}  // namespace detail
+
+inline ProviderRegistry ProviderRegistry::builtin() {
+    ProviderRegistry reg;
+    reg.add(JobKind::Qdwh, [](rt::Engine& eng, JobSpec const& spec,
+                              Workspace& ws, JobResult& res) {
+        with_scalar_type(spec.type, [&](auto tag) {
+            detail::run_qdwh<decltype(tag)>(eng, spec, ws, res);
+        });
+    });
+    reg.add(JobKind::ZoloPd, [](rt::Engine& eng, JobSpec const& spec,
+                                Workspace& ws, JobResult& res) {
+        with_scalar_type(spec.type, [&](auto tag) {
+            detail::run_zolopd<decltype(tag)>(eng, spec, ws, res);
+        });
+    });
+    reg.add(JobKind::Posv, [](rt::Engine& eng, JobSpec const& spec,
+                              Workspace& ws, JobResult& res) {
+        with_scalar_type(spec.type, [&](auto tag) {
+            detail::run_posv<decltype(tag)>(eng, spec, ws, res);
+        });
+    });
+    reg.add(JobKind::Geqrf, [](rt::Engine& eng, JobSpec const& spec,
+                               Workspace& ws, JobResult& res) {
+        with_scalar_type(spec.type, [&](auto tag) {
+            detail::run_geqrf<decltype(tag)>(eng, spec, ws, res);
+        });
+    });
+    return reg;
+}
+
+}  // namespace tbp::svc

@@ -1,0 +1,48 @@
+// Provider registry: maps a JobKind to the callable that executes it.
+//
+// A provider runs one job to completion on the job's private engine,
+// reporting through JobResult (status + info + outputs staged into the
+// workspace). Providers communicate failure by Status where the solver
+// offers a status-returning entry point (qdwh_status, zolo_pd_status) and
+// by throwing tbp::Error where it does not (posv's non-HPD pivot); the
+// service maps escaped exceptions to JobResult errors so neither path can
+// abort a batch.
+//
+// The registry is a value type: the service takes a copy at construction,
+// so tests can register fakes (e.g. a provider that always throws) without
+// touching global state.
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "runtime/engine.hh"
+#include "service/arena.hh"
+#include "service/job.hh"
+
+namespace tbp::svc {
+
+class ProviderRegistry {
+public:
+    using Provider = std::function<void(rt::Engine&, JobSpec const&,
+                                        Workspace&, JobResult&)>;
+
+    /// Registry with the built-in qdwh/zolopd/posv/geqrf providers over all
+    /// four scalar types (providers.hh).
+    static ProviderRegistry builtin();
+
+    void add(JobKind kind, Provider p) {
+        providers_[static_cast<int>(kind)] = std::move(p);
+    }
+
+    Provider const* find(JobKind kind) const {
+        auto const it = providers_.find(static_cast<int>(kind));
+        return it == providers_.end() ? nullptr : &it->second;
+    }
+
+private:
+    std::unordered_map<int, Provider> providers_;
+};
+
+}  // namespace tbp::svc

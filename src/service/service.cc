@@ -1,0 +1,161 @@
+#include "service/service.hh"
+
+#include "common/error.hh"
+#include "common/timer.hh"
+
+namespace tbp::svc {
+
+PolarService::PolarService(rt::Engine& eng, ServiceOptions opts)
+    : PolarService(eng, ProviderRegistry::builtin(), opts) {}
+
+PolarService::PolarService(rt::Engine& eng, ProviderRegistry reg,
+                           ServiceOptions opts)
+    : eng_(eng),
+      registry_(std::move(reg)),
+      opts_(opts),
+      pool_(WorkspacePool::make()),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+PolarService::~PolarService() {
+    wait_all();
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        stop_ = true;
+    }
+    admit_cv_.notify_all();
+    dispatcher_.join();
+}
+
+JobHandle PolarService::submit(JobSpec spec) {
+    auto st = std::make_shared<detail::JobState>();
+    st->spec = spec;
+    st->result.kind = spec.kind;
+    st->result.cls = spec.cls;
+    st->result.t_submit = wall_time();
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        st->result.id = next_id_++;
+        ++stats_.admitted;
+        if (spec.cls == JobClass::Latency)
+            ++stats_.admitted_latency;
+        else
+            ++stats_.admitted_bulk;
+        queue_.push_back(st);
+    }
+    admit_cv_.notify_one();
+    return JobHandle(st);
+}
+
+void PolarService::wait_all() {
+    std::vector<rt::JobId> claim;
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        done_cv_.wait(lk, [this] {
+            return stats_.completed == stats_.admitted;
+        });
+        claim.swap(poisoned_);
+    }
+    // Claim the per-job error latches so the engine's job-error map stays
+    // empty; the exceptions were already transcribed into JobResults.
+    for (rt::JobId j : claim)
+        (void)eng_.take_job_error(j);
+}
+
+ServiceStats PolarService::stats() const {
+    std::lock_guard<std::mutex> lk(mtx_);
+    ServiceStats s = stats_;
+    s.workspaces_created = pool_->created();
+    return s;
+}
+
+// Sole submitter of eng_: pops admissions and turns each into one coarse
+// engine task. The QoS split happens here — Latency jobs enter the high
+// priority lane, Bulk the normal lane (or both at 0 in fifo mode).
+void PolarService::dispatcher_loop() {
+    for (;;) {
+        std::shared_ptr<detail::JobState> st;
+        {
+            std::unique_lock<std::mutex> lk(mtx_);
+            admit_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ and drained
+            st = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        st->ejob = eng_.new_job();
+        int const prio =
+            (!opts_.fifo && st->spec.cls == JobClass::Latency)
+                ? opts_.latency_priority
+                : 0;
+        // Each job writes only its own state: no inter-job dependencies,
+        // so the engine is free to run any mix of jobs concurrently.
+        eng_.submit("svc_job", {rt::write(st.get())},
+                    [this, st] { run_job(st); }, prio, st->ejob);
+    }
+}
+
+// Body of one job, executed on an engine worker. Catches everything: a
+// failing provider becomes a JobResult error plus a poisoned per-job latch,
+// never an escaped exception that would poison unrelated jobs.
+void PolarService::run_job(std::shared_ptr<detail::JobState> const& st) {
+    JobResult& res = st->result;
+    res.t_start = wall_time();
+    // Checked out here, not at dispatch: a queued backlog of thousands of
+    // jobs must not pin thousands of arenas. The pool's steady state is
+    // one workspace per concurrently *running* job.
+    st->ws = pool_->checkout();
+    bool poisoned = false;
+    try {
+        Status const v = validate(st->spec);
+        if (v != Status::Ok) {
+            res.status = v;
+            res.error = std::string(job_kind_name(st->spec.kind))
+                        + ": invalid job spec";
+        } else if (auto const* p = registry_.find(st->spec.kind)) {
+            // Private sequential engine: tasks run inline on this worker,
+            // and the job's outputs depend only on its spec.
+            rt::Engine jeng(1, rt::Mode::Sequential);
+            (*p)(jeng, st->spec, *st->ws, res);
+        } else {
+            res.status = Status::InvalidArgument;
+            res.error = std::string(job_kind_name(st->spec.kind))
+                        + ": no provider registered";
+        }
+    } catch (Error const& e) {
+        res.status = Status::NumericalError;
+        res.error = e.what();
+        eng_.poison_job(st->ejob, std::current_exception());
+        poisoned = true;
+    } catch (std::exception const& e) {
+        res.status = Status::InternalError;
+        res.error = e.what();
+        eng_.poison_job(st->ejob, std::current_exception());
+        poisoned = true;
+    } catch (...) {
+        res.status = Status::InternalError;
+        res.error = "unknown exception";
+        eng_.poison_job(st->ejob, std::current_exception());
+        poisoned = true;
+    }
+    res.t_end = wall_time();
+
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        ++stats_.completed;
+        if (res.status != Status::Ok)
+            ++stats_.failed;
+        if (poisoned)
+            poisoned_.push_back(st->ejob);
+        // Notify under the lock: wait_all() may return (and the service
+        // may be destroyed) the instant the predicate holds, so the cv
+        // must not be touched after the mutex is released.
+        done_cv_.notify_all();
+    }
+    {
+        std::lock_guard<std::mutex> lk(st->mtx);
+        st->done = true;
+    }
+    st->cv.notify_all();
+}
+
+}  // namespace tbp::svc

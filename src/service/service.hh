@@ -1,0 +1,149 @@
+// Batched "polar as a service" front end over the work-stealing engine.
+//
+// The paper's setting is one large polar decomposition at a time; a
+// production deployment amortizes the machine across MANY independent
+// problems. PolarService turns the engine into exactly that: callers admit
+// JobSpecs from any thread, a single dispatcher thread — the engine's one
+// submitter — turns each admission into one coarse engine task, and the
+// engine's per-worker priority deques provide the QoS split (Latency jobs
+// ride the high lane past any depth of Bulk backlog; ServiceOptions::fifo
+// collapses both classes onto one lane for A/B baselines).
+//
+// Isolation invariants:
+//   - every job computes on its own private sequential engine, so outputs
+//     are bitwise reproducible functions of the JobSpec;
+//   - every job stages outputs in its own pooled workspace (arena.hh), so
+//     concurrent jobs never share scratch;
+//   - every job runs under its own engine JobId, so an exception poisons
+//     only that job's latch — one failing job becomes a JobResult error
+//     and every other job in the batch completes (engine.hh).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.hh"
+#include "service/arena.hh"
+#include "service/job.hh"
+#include "service/providers.hh"
+#include "service/registry.hh"
+
+namespace tbp::svc {
+
+struct ServiceOptions {
+    /// Ignore QoS classes and run everything at one priority (the FIFO
+    /// baseline the throughput bench A/Bs against).
+    bool fifo = false;
+    /// Engine priority of the Latency class (Bulk is always 0).
+    int latency_priority = 1;
+};
+
+struct ServiceStats {
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;  ///< completed with status != Ok
+    std::uint64_t admitted_latency = 0;
+    std::uint64_t admitted_bulk = 0;
+    std::size_t workspaces_created = 0;  ///< flat once the pool is warm
+};
+
+namespace detail {
+struct JobState {
+    JobSpec spec;
+    JobResult result;
+    std::shared_ptr<Workspace> ws;
+    rt::JobId ejob = rt::kAmbientJob;
+
+    mutable std::mutex mtx;
+    mutable std::condition_variable cv;
+    bool done = false;
+};
+}  // namespace detail
+
+/// Caller-side view of one admitted job. result() blocks until the job
+/// completes. Output bytes stay valid while the handle (or a copy) lives;
+/// destruction returns the workspace to the pool.
+class JobHandle {
+public:
+    JobHandle() = default;
+
+    bool valid() const { return st_ != nullptr; }
+
+    bool done() const {
+        std::lock_guard<std::mutex> lk(st_->mtx);
+        return st_->done;
+    }
+
+    JobResult const& result() const {
+        std::unique_lock<std::mutex> lk(st_->mtx);
+        st_->cv.wait(lk, [this] { return st_->done; });
+        return st_->result;
+    }
+
+    /// Staged output bytes (dense column-major); call after result().
+    std::byte const* output(Workspace::Slot slot) const {
+        return st_->ws->data(slot);
+    }
+    std::size_t output_bytes(Workspace::Slot slot) const {
+        return st_->ws->used(slot);
+    }
+
+private:
+    friend class PolarService;
+    explicit JobHandle(std::shared_ptr<detail::JobState> st)
+        : st_(std::move(st)) {}
+    std::shared_ptr<detail::JobState> st_;
+};
+
+class PolarService {
+public:
+    /// Serve jobs on `eng` with the built-in provider registry.
+    explicit PolarService(rt::Engine& eng, ServiceOptions opts = {});
+    /// Custom registry (tests register failing/fake providers this way).
+    PolarService(rt::Engine& eng, ProviderRegistry reg,
+                 ServiceOptions opts = {});
+    /// Drains outstanding jobs, then stops the dispatcher.
+    ~PolarService();
+
+    PolarService(PolarService const&) = delete;
+    PolarService& operator=(PolarService const&) = delete;
+
+    /// Admit a job; thread-safe, returns immediately.
+    JobHandle submit(JobSpec spec);
+
+    /// Block until every job admitted so far has completed, then claim the
+    /// engine-side error latches of failed jobs. Never calls Engine::wait()
+    /// (the ambient job belongs to the engine's owner, and the dispatcher
+    /// must stay the engine's only submitter).
+    void wait_all();
+
+    ServiceStats stats() const;
+
+private:
+    void dispatcher_loop();
+    void run_job(std::shared_ptr<detail::JobState> const& st);
+
+    rt::Engine& eng_;
+    ProviderRegistry registry_;
+    ServiceOptions opts_;
+    std::shared_ptr<WorkspacePool> pool_;
+
+    mutable std::mutex mtx_;
+    std::condition_variable admit_cv_;  ///< dispatcher: new work / stop
+    std::condition_variable done_cv_;   ///< wait_all: completion progress
+    std::deque<std::shared_ptr<detail::JobState>> queue_;
+    std::vector<rt::JobId> poisoned_;  ///< ejobs with latched errors
+    ServiceStats stats_;
+    std::uint64_t next_id_ = 1;
+    bool stop_ = false;
+
+    std::thread dispatcher_;
+};
+
+}  // namespace tbp::svc

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/qdwh.hh"
+#include "core/qdwh_svd.hh"
+#include "core/zolopd.hh"
 #include "gen/matgen.hh"
 #include "linalg/geqrf.hh"
 #include "linalg/potrf.hh"
@@ -169,4 +171,97 @@ TYPED_TEST(EdgeCases, NearSingularStillConverges) {
     auto U = ref::to_dense(A);
     EXPECT_LE(ref::orthogonality(U) / std::sqrt(R(n)), test::tol<T>(200));
     EXPECT_LE(info.iterations, 8);
+}
+
+TYPED_TEST(EdgeCases, StatusVariantsReportInsteadOfThrowing) {
+    // The status-returning entry points used by the service layer: the
+    // same failures that make qdwh()/zolo_pd() throw come back as codes.
+    using T = TypeParam;
+    rt::Engine eng(2);
+
+    {  // zero matrix: no unique polar factor
+        TiledMatrix<T> A(8, 8, 4);
+        la::set(eng, T(0), T(0), A);
+        TiledMatrix<T> H(8, 8, 4);
+        QdwhInfo info;
+        EXPECT_EQ(qdwh_status(eng, A, H, info, {}), Status::ZeroMatrix);
+        EXPECT_FALSE(info.converged);
+    }
+    {  // non-convergence: max_iter too small for the conditioning
+        gen::MatGenOptions opt;
+        opt.cond = 1e6;
+        opt.seed = 401;
+        auto A = gen::cond_matrix<T>(eng, 16, 16, 8, opt);
+        TiledMatrix<T> H(16, 16, 8);
+        QdwhOptions qo;
+        qo.max_iter = 1;
+        QdwhInfo info;
+        EXPECT_EQ(qdwh_status(eng, A, H, info, qo), Status::NotConverged);
+        EXPECT_FALSE(info.converged);
+        EXPECT_EQ(info.iterations, 1);
+    }
+    {  // invalid dimensions: wide input
+        TiledMatrix<T> A(4, 9, 4);
+        TiledMatrix<T> H(9, 9, 4);
+        QdwhInfo info;
+        EXPECT_EQ(qdwh_status(eng, A, H, info, {}),
+                  Status::InvalidArgument);
+    }
+    {  // success still reports through the same path
+        gen::MatGenOptions opt;
+        opt.cond = 1e3;
+        opt.seed = 402;
+        auto A = gen::cond_matrix<T>(eng, 12, 12, 4, opt);
+        TiledMatrix<T> H(12, 12, 4);
+        QdwhInfo info;
+        EXPECT_EQ(qdwh_status(eng, A, H, info, {}), Status::Ok);
+        EXPECT_TRUE(info.converged);
+        EXPECT_GT(info.iterations, 0);
+    }
+}
+
+TYPED_TEST(EdgeCases, ZoloStatusVariants) {
+    using T = TypeParam;
+    rt::Engine eng(2);
+    {
+        TiledMatrix<T> A(8, 8, 4);
+        la::set(eng, T(0), T(0), A);
+        TiledMatrix<T> H(8, 8, 4);
+        ZoloInfo info;
+        EXPECT_EQ(zolo_pd_status(eng, A, H, info, {}), Status::ZeroMatrix);
+        EXPECT_THROW(zolo_pd(eng, A, H), Error);
+    }
+    {  // r < 1 is a malformed request, reported not thrown
+        TiledMatrix<T> A(8, 8, 4);
+        TiledMatrix<T> H(8, 8, 4);
+        ZoloOptions zo;
+        zo.r = 0;
+        ZoloInfo info;
+        EXPECT_EQ(zolo_pd_status(eng, A, H, info, zo),
+                  Status::InvalidArgument);
+    }
+}
+
+TYPED_TEST(EdgeCases, ThrowingWrappersCarryClearMessages) {
+    // The throwing API's validation errors must name the offending
+    // dimensions, not just fail a bare precondition.
+    using T = TypeParam;
+    rt::Engine eng(2);
+    TiledMatrix<T> A(4, 9, 4);
+    TiledMatrix<T> H(9, 9, 4);
+    try {
+        qdwh(eng, A, H);
+        FAIL() << "wide matrix accepted";
+    } catch (Error const& e) {
+        std::string const what = e.what();
+        EXPECT_NE(what.find("m=4"), std::string::npos) << what;
+        EXPECT_NE(what.find("n=9"), std::string::npos) << what;
+    }
+    EXPECT_THROW(qdwh_svd(eng, A, {}), Error);
+
+    TiledMatrix<T> empty_mat;
+    TiledMatrix<T> empty_h;
+    EXPECT_THROW(qdwh(eng, empty_mat, empty_h), Error);
+    EXPECT_THROW(qdwh_svd(eng, empty_mat, {}), Error);
+    EXPECT_THROW(qdwh_eig(eng, empty_mat), Error);
 }

@@ -214,3 +214,72 @@ TEST(EngineStress, DedupDuplicateAccessEdges) {
     EXPECT_EQ(rrw.deps[0], w.id);
     EXPECT_EQ(x, 2);
 }
+
+TEST(EngineStress, JobScopedErrorLatchIsolatesJobs) {
+    // Two explicit jobs share the engine; one throws. The failure must
+    // skip only its own job's successor bodies, never the other job's, and
+    // must surface through take_job_error() — not through wait().
+    rt::Engine eng(4);
+    auto const job_a = eng.new_job();
+    auto const job_b = eng.new_job();
+
+    std::atomic<int> a_ran{0}, b_ran{0};
+    long key_a = 0, key_b = 0;
+    eng.submit("a_boom", {rt::readwrite(&key_a)},
+               []() -> void { throw std::runtime_error("job A failed"); },
+               0, job_a);
+    for (int i = 0; i < 50; ++i) {
+        eng.submit("a_skip", {rt::readwrite(&key_a)},
+                   [&a_ran] { a_ran.fetch_add(1); }, 0, job_a);
+        eng.submit("b_ok", {rt::readwrite(&key_b)},
+                   [&b_ran] { b_ran.fetch_add(1); }, 0, job_b);
+    }
+    // No ambient error: wait() must NOT throw.
+    EXPECT_NO_THROW(eng.wait());
+    EXPECT_EQ(a_ran.load(), 0) << "poisoned job ran successor bodies";
+    EXPECT_EQ(b_ran.load(), 50) << "failure leaked across jobs";
+
+    // The error is latched for its owner, claimed exactly once.
+    EXPECT_TRUE(eng.job_poisoned(job_a));
+    EXPECT_FALSE(eng.job_poisoned(job_b));
+    auto err = eng.take_job_error(job_a);
+    ASSERT_TRUE(err != nullptr);
+    EXPECT_THROW(std::rethrow_exception(err), std::runtime_error);
+    EXPECT_FALSE(eng.job_poisoned(job_a));
+    EXPECT_TRUE(eng.take_job_error(job_a) == nullptr);
+}
+
+TEST(EngineStress, AmbientJobContractUnchangedAlongsideJobs) {
+    // Plain submit() (ambient job) still rethrows on wait() even while an
+    // explicit job is poisoned in the same epoch — and that job's error
+    // stays latched rather than being consumed by wait().
+    rt::Engine eng(3);
+    auto const job = eng.new_job();
+    eng.submit("job_boom", {},
+               []() -> void { throw std::runtime_error("explicit"); }, 0,
+               job);
+    eng.submit("ambient_boom", {},
+               []() -> void { throw std::logic_error("ambient"); });
+    EXPECT_THROW(eng.wait(), std::logic_error);
+    EXPECT_NO_THROW(eng.wait());  // ambient error consumed by first wait
+    auto err = eng.take_job_error(job);
+    ASSERT_TRUE(err != nullptr);
+    EXPECT_THROW(std::rethrow_exception(err), std::runtime_error);
+}
+
+TEST(EngineStress, HostPoisonedJobSkipsQueuedBodies) {
+    // poison_job() from the host (the service layer's path) marks the job
+    // before its queued tasks run; their bodies are skipped but dependents
+    // still release, so wait() terminates.
+    rt::Engine eng(2);
+    auto const job = eng.new_job();
+    eng.poison_job(job, std::make_exception_ptr(std::runtime_error("host")));
+    std::atomic<int> ran{0};
+    long key = 0;
+    for (int i = 0; i < 20; ++i)
+        eng.submit("skipped", {rt::readwrite(&key)},
+                   [&ran] { ran.fetch_add(1); }, 0, job);
+    EXPECT_NO_THROW(eng.wait());
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_TRUE(eng.take_job_error(job) != nullptr);
+}

@@ -1,0 +1,61 @@
+// Regression tests for the benchmark JSON emitter: JsonRecord::quote must
+// produce RFC 8259-valid strings for every byte a solver name, error
+// message, or hostname can carry (the service bench serializes JobResult
+// error strings, which contain quotes and newlines from exception text).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/bench_util.hh"
+
+using tbp::bench::JsonRecord;
+
+TEST(JsonQuote, PlainStringPassesThrough) {
+    EXPECT_EQ(JsonRecord::quote("qdwh d 1024"), "\"qdwh d 1024\"");
+    EXPECT_EQ(JsonRecord::quote(""), "\"\"");
+}
+
+TEST(JsonQuote, QuoteAndBackslashEscaped) {
+    EXPECT_EQ(JsonRecord::quote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(JsonRecord::quote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(JsonRecord::quote("\\\""), "\"\\\\\\\"\"");
+}
+
+TEST(JsonQuote, CommonControlShorthands) {
+    EXPECT_EQ(JsonRecord::quote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(JsonRecord::quote("a\tb"), "\"a\\tb\"");
+    EXPECT_EQ(JsonRecord::quote("a\rb"), "\"a\\rb\"");
+    EXPECT_EQ(JsonRecord::quote("a\bb"), "\"a\\bb\"");
+    EXPECT_EQ(JsonRecord::quote("a\fb"), "\"a\\fb\"");
+}
+
+TEST(JsonQuote, RemainingControlCharsUseUnicodeEscapes) {
+    EXPECT_EQ(JsonRecord::quote(std::string(1, '\x01')), "\"\\u0001\"");
+    EXPECT_EQ(JsonRecord::quote(std::string(1, '\x1f')), "\"\\u001f\"");
+    EXPECT_EQ(JsonRecord::quote(std::string("a\x0b") + "b"), "\"a\\u000bb\"");
+    // NUL embedded in a std::string must not truncate the output.
+    std::string nul("a");
+    nul.push_back('\0');
+    nul += "b";
+    EXPECT_EQ(JsonRecord::quote(nul), "\"a\\u0000b\"");
+}
+
+TEST(JsonQuote, HighBytesPassThroughUnchanged) {
+    // UTF-8 multibyte sequences (bytes >= 0x80) are legal raw in JSON
+    // strings; they must not be treated as negative chars and escaped.
+    std::string const utf8 = "\xce\xba";  // kappa
+    EXPECT_EQ(JsonRecord::quote(utf8), "\"\xce\xba\"");
+}
+
+TEST(JsonRecordTest, FieldsComposeIntoValidObject) {
+    JsonRecord r;
+    r.field("name", "qdwh \"latency\"")
+        .field("error", std::string("line1\nline2\ttail"))
+        .field("n", 512)
+        .field("ok", true);
+    EXPECT_EQ(r.str(),
+              "{\"name\":\"qdwh \\\"latency\\\"\","
+              "\"error\":\"line1\\nline2\\ttail\","
+              "\"n\":512,\"ok\":true}");
+}

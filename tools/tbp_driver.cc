@@ -3,23 +3,29 @@
 // schedule, and get the paper's metrics printed.
 //
 // Usage:
-//   tbp_driver [--algo qdwh|zolo|mixed|newton|svdpd|svd]
+//   tbp_driver [--algo qdwh|zolo|mixed|newton|svdpd|svd|dqdwh|serve]
 //              [--m M] [--n N] [--nb NB] [--cond KAPPA]
 //              [--dist geom|arith|cluster|loguni]
 //              [--type s|d|c|z] [--mode task|forkjoin|seq]
 //              [--sched steal|global] [--threads T] [--seed S] [--r R]
-//              [--verbose]
+//              [--jobs J] [--rate R] [--fifo] [--verbose]
 //
 // Examples:
 //   tbp_driver --algo qdwh --n 512 --cond 1e16
 //   tbp_driver --algo zolo --n 256 --r 8 --type z
 //   tbp_driver --algo qdwh --n 384 --mode forkjoin   # ScaLAPACK-style run
+//   tbp_driver --algo serve --jobs 200 --n 64 --nb 32  # batched service
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <complex>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "blas/kernel/stats.hh"
 #include "comm/dist_qdwh.hh"
@@ -33,6 +39,7 @@
 #include "core/zolopd.hh"
 #include "gen/matgen.hh"
 #include "ref/dense.hh"
+#include "service/service.hh"
 
 using namespace tbp;
 
@@ -55,12 +62,15 @@ struct Args {
     int ranks = 4;             // --algo dqdwh: virtual ranks
     int gp = 0, gq = 0;        // process grid (0 -> auto near-square)
     std::string comm = "engine";  // engine | legacy | ring
+    int jobs = 200;            // --algo serve: batch size
+    double rate = 0;           // arrival rate jobs/s (0 -> submit at once)
+    bool fifo = false;         // serve: disable the QoS priority split
 };
 
 [[noreturn]] void usage(char const* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--algo qdwh|zolo|mixed|newton|svdpd|svd|dqdwh] "
-                 "[--m M] [--n N]\n"
+                 "usage: %s [--algo qdwh|zolo|mixed|newton|svdpd|svd|dqdwh|"
+                 "serve] [--m M] [--n N]\n"
                  "          [--nb NB] [--cond K] [--dist geom|arith|cluster|"
                  "loguni]\n"
                  "          [--type s|d|c|z] [--mode task|forkjoin|seq] "
@@ -68,9 +78,17 @@ struct Args {
                  "          [--threads T] [--seed S] [--r R] [--verbose]\n"
                  "          [--ranks P] [--grid PxQ] [--comm engine|legacy|"
                  "ring]\n"
+                 "          [--jobs J] [--rate JOBS_PER_SEC] [--fifo]\n"
                  "\n"
                  "  --algo dqdwh runs the distributed QDWH over P virtual "
                  "ranks.\n"
+                 "  --algo serve runs a mixed qdwh/zolo/posv/geqrf batch of "
+                 "J jobs\n"
+                 "  (every 4th in the Latency QoS class) through the service "
+                 "layer at\n"
+                 "  --rate jobs/s Poisson arrivals (0 = all at once); --fifo "
+                 "disables\n"
+                 "  the priority split for an A/B baseline.\n"
                  "  --comm selects the collective algorithms: 'engine' "
                  "(tree/recursive-\n"
                  "  doubling, pipelined staging), 'legacy' (linear reference "
@@ -135,6 +153,12 @@ Args parse(int argc, char** argv) {
                 std::fprintf(stderr, "--grid wants PxQ, e.g. 2x2\n");
                 usage(argv[0]);
             }
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            a.jobs = std::atoi(need("--jobs"));
+        } else if (!std::strcmp(argv[i], "--rate")) {
+            a.rate = std::atof(need("--rate"));
+        } else if (!std::strcmp(argv[i], "--fifo")) {
+            a.fifo = true;
         } else if (!std::strcmp(argv[i], "--comm")) {
             a.comm = need("--comm");
             if (a.comm != "engine" && a.comm != "legacy" && a.comm != "ring") {
@@ -383,6 +407,86 @@ int run_dist(Args const& a) {
     return 0;
 }
 
+/// Batched service mode: a mixed workload through src/service/, reporting
+/// jobs/sec and per-QoS-class latency percentiles.
+int run_serve(Args const& a) {
+    rt::Engine eng(a.threads, rt::Mode::TaskDataflow, a.sched);
+    svc::ServiceOptions so;
+    so.fifo = a.fifo;
+    svc::PolarService service(eng, so);
+
+    svc::JobKind const kinds[] = {svc::JobKind::Qdwh, svc::JobKind::Posv,
+                                  svc::JobKind::Geqrf, svc::JobKind::ZoloPd};
+    CounterRng arrivals(a.seed ^ 0x5E17E);
+    std::vector<svc::JobHandle> handles;
+    handles.reserve(static_cast<size_t>(a.jobs));
+    double const t0 = wall_time();
+    double t_arr = 0;
+    for (int i = 0; i < a.jobs; ++i) {
+        svc::JobSpec s;
+        s.kind = kinds[i % 4];
+        s.cls = (i % 4 == 0) ? svc::JobClass::Latency : svc::JobClass::Bulk;
+        s.type = a.type;
+        s.n = a.n;
+        s.m = s.kind == svc::JobKind::Posv ? 1 : a.m;
+        s.nb = a.nb;
+        s.cond = a.cond;
+        s.seed = a.seed + static_cast<std::uint64_t>(i);
+        if (s.kind == svc::JobKind::ZoloPd)
+            s.r = a.r;
+        if (a.rate > 0) {
+            double const u = arrivals.uniform(static_cast<std::uint64_t>(i));
+            t_arr += -std::log1p(-std::min(u, 0.999999)) / a.rate;
+            while (wall_time() - t0 < t_arr)
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        handles.push_back(service.submit(s));
+    }
+    service.wait_all();
+
+    std::vector<double> lat[2];
+    double t_last = t0;
+    std::uint64_t failed = 0;
+    for (auto const& h : handles) {
+        auto const& res = h.result();
+        t_last = std::max(t_last, res.t_end);
+        lat[res.cls == svc::JobClass::Latency ? 0 : 1].push_back(
+            res.latency());
+        if (!res.ok()) {
+            ++failed;
+            if (a.verbose)
+                std::printf("  job %llu %s/%s failed: %s\n",
+                            static_cast<unsigned long long>(res.id),
+                            svc::job_kind_name(res.kind),
+                            svc::job_class_name(res.cls), res.error.c_str());
+        }
+    }
+    auto pct = [](std::vector<double> v, double p) {
+        if (v.empty())
+            return 0.0;
+        std::sort(v.begin(), v.end());
+        return v[static_cast<size_t>(p * (static_cast<double>(v.size()) - 1))];
+    };
+    double const wall = t_last - t0;
+    auto const st = service.stats();
+    std::printf("algo=serve type=%c n=%lld nb=%d jobs=%d threads=%d "
+                "sched=%s rate=%s\n",
+                a.type, static_cast<long long>(a.n), a.nb, a.jobs, a.threads,
+                a.fifo ? "fifo" : "qos",
+                a.rate > 0 ? std::to_string(a.rate).c_str() : "burst");
+    std::printf("  %.0f jobs/s   wall %.3fs   failed %llu/%llu   "
+                "workspaces %zu\n",
+                wall > 0 ? a.jobs / wall : 0.0, wall,
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(st.completed),
+                st.workspaces_created);
+    std::printf("  latency-class p50 %.2fms p99 %.2fms   bulk p50 %.2fms "
+                "p99 %.2fms\n",
+                pct(lat[0], 0.5) * 1e3, pct(lat[0], 0.99) * 1e3,
+                pct(lat[1], 0.5) * 1e3, pct(lat[1], 0.99) * 1e3);
+    return failed == 0 ? 0 : 1;
+}
+
 template <typename T>
 int dispatch(Args const& a) {
     if (a.algo == "newton" || a.algo == "svdpd")
@@ -397,6 +501,8 @@ int dispatch(Args const& a) {
 int main(int argc, char** argv) {
     auto const a = parse(argc, argv);
     try {
+        if (a.algo == "serve")
+            return run_serve(a);
         switch (a.type) {
             case 's': return dispatch<float>(a);
             case 'd': return dispatch<double>(a);
