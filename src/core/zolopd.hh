@@ -32,6 +32,7 @@
 #include "common/types.hh"
 #include "cond/condest.hh"
 #include "cond/norm2est.hh"
+#include "device/executor.hh"
 #include "linalg/gemm.hh"
 #include "linalg/geqrf.hh"
 #include "linalg/potrf.hh"
@@ -54,6 +55,13 @@ struct ZoloOptions {
     /// Exploit the sqrt(c) I block of each stacked [X; sqrt(c) I] term via
     /// geqrf_stacked_tri / ungqr_stacked_tri (see QdwhOptions).
     bool structured_qr = true;
+    /// Execution target (see QdwhOptions::target): per-tile tasks or the
+    /// batched device executor.
+    dev::Target target = dev::Target::Tasks;
+    /// Panel lookahead depth of the QR/Cholesky solves (see QdwhOptions).
+    int lookahead = 0;
+    /// Largest coalesced batch under BatchedHost.
+    int max_batch = 32;
 };
 
 struct ZoloInfo {
@@ -151,9 +159,9 @@ inline ZoloCoeffs zolo_coeffs(double l, int r) {
     return z;
 }
 
-template <typename T>
-Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
-                 ZoloInfo& info, ZoloOptions const& opts);
+template <typename Ex, typename T>
+Status zolo_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, ZoloInfo& info,
+                 ZoloOptions const& opts);
 
 }  // namespace detail
 
@@ -173,6 +181,16 @@ Status zolo_pd_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
         return Status::InvalidArgument;
 
     try {
+        if (opts.target == dev::Target::BatchedHost) {
+            dev::ExecOptions eo;
+            eo.target = dev::Target::BatchedHost;
+            eo.max_batch = opts.max_batch;
+            eo.tile_bytes = static_cast<std::size_t>(A.tile_mb(0))
+                            * static_cast<std::size_t>(A.tile_nb(0))
+                            * sizeof(T);
+            dev::Executor ex(eng, eo);
+            return detail::zolo_impl(ex, A, H, info, opts);
+        }
         return detail::zolo_impl(eng, A, H, info, opts);
     } catch (Error const&) {
         try {
@@ -187,9 +205,9 @@ namespace detail {
 
 /// Body of zolo_pd_status after validation; may throw tbp::Error from task
 /// synchronization points (caught and mapped by zolo_pd_status).
-template <typename T>
-Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
-                 ZoloInfo& info, ZoloOptions const& opts) {
+template <typename Ex, typename T>
+Status zolo_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, ZoloInfo& info,
+                 ZoloOptions const& opts) {
     using R = real_t<T>;
     std::int64_t const n = A.n();
     info.terms = opts.r;
@@ -238,7 +256,7 @@ Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     } else {
         R const anorm = la::norm(eng, Norm::One, A);
         la::copy(eng, A, W1);
-        la::geqrf(eng, W1, Tw.sub(0, 0, mt, nt));
+        la::geqrf(eng, W1, Tw.sub(0, 0, mt, nt), opts.lookahead);
         eng.wait();
         R const rcond = cond::trcondest(eng, W1);
         li = anorm * rcond / std::sqrt(static_cast<R>(n));
@@ -277,7 +295,7 @@ Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
                 if (opts.structured_qr) {
                     la::geqrf_stacked_tri(
                         eng, W, mt, from_real<T>(static_cast<R>(std::sqrt(c))),
-                        Tw);
+                        Tw, opts.lookahead);
                     la::ungqr_stacked_tri(eng, W, mt, Tw, Q);
                     // X (X^H X + c I)^{-1} = Q1 Q2^H / sqrt(c); Q2 =
                     // sqrt(c) R^{-1} is block upper triangular.
@@ -288,7 +306,7 @@ Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
                     la::set_identity(eng, W2);
                     la::scale(eng, from_real<T>(static_cast<R>(std::sqrt(c))),
                               W2);
-                    la::geqrf(eng, W, Tw);
+                    la::geqrf(eng, W, Tw, opts.lookahead);
                     la::ungqr(eng, W, Tw, Q);
                     la::gemm(eng, Op::NoTrans, Op::ConjTrans,
                              from_real<T>(static_cast<R>(aj / std::sqrt(c))),
@@ -299,7 +317,7 @@ Status zolo_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
                 // Cholesky evaluation: Z = c I + X^H X.
                 la::set(eng, T(0), from_real<T>(static_cast<R>(c)), Z);
                 la::herk(eng, Uplo::Lower, Op::ConjTrans, R(1), Aprev, R(1), Z);
-                la::potrf(eng, Uplo::Lower, Z);
+                la::potrf(eng, Uplo::Lower, Z, opts.lookahead);
                 la::copy(eng, Aprev, Term);
                 la::trsm(eng, Side::Right, Uplo::Lower, Op::ConjTrans,
                          Diag::NonUnit, T(1), Z, Term);

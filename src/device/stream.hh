@@ -1,0 +1,167 @@
+// Modeled per-device command streams for the batched host executor.
+//
+// A real SLATE Target::Devices backend stages tiles into device memory over
+// PCIe/xGMI, launches batched kernels on per-device streams, and writes
+// dirty tiles back at synchronization points, overlapping the copies with
+// compute via double buffering. The CPU-simulated executor has no device
+// memory, but it drives this model with the exact same event sequence a GPU
+// backend would see: every batch launch becomes a stream issue (H2D upload
+// of non-resident operand tiles + a compute event), and every host
+// synchronization becomes a D2H writeback of the dirty set. Times are
+// charged from the Summit/Frontier machine model in src/perf/, so benches
+// can report how much staging the batched schedule would expose on the
+// paper's hardware — these numbers are MODELED, never added to measured
+// wall time (see DESIGN.md "what is measured vs what is modeled").
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "perf/machine.hh"
+#include "runtime/engine.hh"
+
+namespace tbp::dev {
+
+/// Aggregate counters of the modeled streams (all devices).
+struct StreamStats {
+    std::uint64_t issues = 0;      ///< command-stream launches
+    std::uint64_t h2d_events = 0;  ///< tile uploads (first touch per epoch)
+    std::uint64_t d2h_events = 0;  ///< dirty-tile writebacks at syncs
+    double h2d_bytes = 0;
+    double d2h_bytes = 0;
+    double copy_seconds = 0;     ///< modeled staging time, both directions
+    double compute_seconds = 0;  ///< modeled device compute time
+    double exposed_copy_seconds = 0;  ///< staging the pipeline failed to hide
+    double makespan_seconds = 0;      ///< modeled timeline (slowest device)
+
+    /// Fraction of staging time hidden behind compute by the double-buffered
+    /// streams; 1 when every upload overlapped, 0 when all were exposed.
+    double overlap_fraction() const {
+        if (copy_seconds <= 0)
+            return 1.0;
+        return std::min(
+            1.0, std::max(0.0, 1.0 - exposed_copy_seconds / copy_seconds));
+    }
+};
+
+/// One modeled copy/compute stream pair per "device", with a resident-tile
+/// set so uploads are charged on first touch only (tiles stay device
+/// resident between batches, as SLATE keeps workspace tiles on the GPU).
+class StreamSet {
+public:
+    StreamSet(int num_devices, perf::MachineModel const& machine,
+              std::size_t tile_bytes)
+        : machine_(machine),
+          tile_bytes_(static_cast<double>(tile_bytes)),
+          dev_(static_cast<std::size_t>(std::max(1, num_devices))) {}
+
+    int num_devices() const { return static_cast<int>(dev_.size()); }
+
+    /// Record one batch launch: round-robin it onto a device, upload its
+    /// non-resident operand tiles on the copy stream, then run `flops` on
+    /// the compute stream (which waits for the upload — double buffering
+    /// hides the copy iff the compute stream is still busy with the
+    /// previous batch). Returns the device chosen.
+    int issue(std::vector<rt::Access> const& accesses, double flops) {
+        int const d = static_cast<int>(next_++ % dev_.size());
+        Device& dv = dev_[static_cast<std::size_t>(d)];
+
+        double up = 0;
+        for (auto const& a : accesses) {
+            if (dv.resident.insert(a.key).second) {
+                up += tile_bytes_;
+                ++stats_.h2d_events;
+            }
+            if (a.mode != rt::AccessMode::Read)
+                dv.dirty.insert(a.key);
+        }
+
+        double const t_copy =
+            up > 0 ? up / h2d_bw() + machine_.net_latency_us * 1e-6 : 0.0;
+        double const t_comp = flops > 0 ? flops / compute_rate() : 0.0;
+
+        double const copy_done = dv.copy_done + t_copy;
+        // Compute waits for its operands; any wait past the point where the
+        // compute stream drained is staging the pipeline failed to hide.
+        stats_.exposed_copy_seconds +=
+            std::max(0.0, copy_done - std::max(dv.compute_done, dv.copy_done));
+        dv.copy_done = copy_done;
+        dv.compute_done = std::max(dv.compute_done, copy_done) + t_comp;
+
+        ++stats_.issues;
+        stats_.h2d_bytes += up;
+        stats_.copy_seconds += t_copy;
+        stats_.compute_seconds += t_comp;
+        update_makespan();
+        return d;
+    }
+
+    /// Host synchronization point: write every dirty tile back. The
+    /// writeback happens at a barrier, so it is exposed by construction.
+    /// Residency survives (tiles stay cached on the device for the next
+    /// operation); only the dirty set drains.
+    void sync() {
+        for (auto& dv : dev_) {
+            if (dv.dirty.empty())
+                continue;
+            double const down =
+                tile_bytes_ * static_cast<double>(dv.dirty.size());
+            double const t = down / h2d_bw() + machine_.net_latency_us * 1e-6;
+            stats_.d2h_events += dv.dirty.size();
+            stats_.d2h_bytes += down;
+            stats_.copy_seconds += t;
+            stats_.exposed_copy_seconds += t;
+            dv.copy_done = std::max(dv.copy_done, dv.compute_done) + t;
+            dv.dirty.clear();
+        }
+        update_makespan();
+    }
+
+    /// Drop residency (a new problem's tiles reuse the addresses).
+    void reset_residency() {
+        for (auto& dv : dev_) {
+            dv.resident.clear();
+            dv.dirty.clear();
+        }
+    }
+
+    StreamStats const& stats() const { return stats_; }
+
+private:
+    struct Device {
+        std::unordered_set<void const*> resident;
+        std::unordered_set<void const*> dirty;
+        double copy_done = 0;     ///< copy-stream timeline (seconds)
+        double compute_done = 0;  ///< compute-stream timeline (seconds)
+    };
+
+    /// Host<->device bandwidth per device (the machine model's aggregate
+    /// split across the devices sharing the links).
+    double h2d_bw() const {
+        return machine_.d2h_bw_gbs * 1e9
+               / static_cast<double>(dev_.size());
+    }
+    /// Batched updates run near the device's dgemm rate.
+    double compute_rate() const {
+        return machine_.gpu_gflops * 1e9 * machine_.gpu_gemm_eff;
+    }
+
+    void update_makespan() {
+        double m = 0;
+        for (auto const& dv : dev_)
+            m = std::max(m, std::max(dv.copy_done, dv.compute_done));
+        stats_.makespan_seconds = m;
+    }
+
+    perf::MachineModel machine_;
+    double tile_bytes_;
+    std::vector<Device> dev_;
+    std::uint64_t next_ = 0;
+    StreamStats stats_;
+};
+
+}  // namespace tbp::dev

@@ -47,12 +47,20 @@ TiledMatrix<T> alloc_qr_t(TiledMatrix<T> const& A) {
 
 /// QR factorization, flat reduction tree. On return: R in the upper
 /// triangle of A, reflectors in A's lower part + Tmat (from alloc_qr_t).
-template <typename T>
-void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
+/// `lookahead` promotes trailing updates into the next `lookahead` panel
+/// columns onto the priority lane (SLATE's lookahead depth): panels
+/// k+1..k+lookahead unblock before the bulk of the trailing matrix is
+/// touched. 0 (the default) keeps the plain dataflow schedule; the
+/// numerical result is identical for every depth.
+template <typename Ex, typename T>
+void geqrf(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat, int lookahead = 0) {
     int const mt = A.mt();
     int const nt = A.nt();
     int const kt = std::min(mt, nt);
     tbp_require(Tmat.mt() == mt && Tmat.nt() == nt);
+    auto upd_pr = [lookahead](int k, int j) {
+        return (lookahead > 0 && j - k <= lookahead) ? 1 : 0;
+    };
 
     for (int k = 0; k < kt; ++k) {
         int const nbk = A.tile_nb(k);
@@ -81,7 +89,8 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
                            int const kk = std::min(A.tile_mb(k), nbk);
                            auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
                            blas::unmqr(Op::ConjTrans, A.tile(k, k), tt, A.tile(k, j));
-                       });
+                       },
+                       upd_pr(k, j));
         }
 
         for (int i = k + 1; i < mt; ++i) {
@@ -107,7 +116,8 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
                                auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
                                blas::tsmqr(Op::ConjTrans, A.tile(i, k), tt,
                                            A.tile(k, j), A.tile(i, j));
-                           });
+                           },
+                           upd_pr(k, j));
             }
         }
     }
@@ -132,15 +142,20 @@ void geqrf(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat) {
 /// drop from 10/3 n^3 to 7/3 n^3 at m = n). Requires m >= n stacking
 /// (mt1 >= nt) and square W2 diagonal tiles
 /// (W.tile_mb(mt1 + i) == W.tile_nb(i)), which [A; I] guarantees.
-template <typename T>
-void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
-                       TiledMatrix<T> Tmat) {
+template <typename Ex, typename T>
+void geqrf_stacked_tri(Ex& eng, TiledMatrix<T> W, int mt1, T w2_diag,
+                       TiledMatrix<T> Tmat, int lookahead = 0) {
     int const mt = W.mt();
     int const nt = W.nt();
     tbp_require(mt == mt1 + nt && mt1 >= nt);
     tbp_require(Tmat.mt() == mt && Tmat.nt() == nt);
     for (int i = 0; i < nt; ++i)
         tbp_require(W.tile_mb(mt1 + i) == W.tile_nb(i));
+    // Same lookahead contract as geqrf: promote updates into the next
+    // `lookahead` panel columns so their folds start early.
+    auto upd_pr = [lookahead](int k, int j) {
+        return (lookahead > 0 && j - k <= lookahead) ? 1 : 0;
+    };
 
     for (int k = 0; k < nt; ++k) {
         int const nbk = W.tile_nb(k);
@@ -165,7 +180,8 @@ void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
                            int const kk = std::min(W.tile_mb(k), nbk);
                            auto tt = Tmat.tile(k, k).sub(0, 0, kk, kk);
                            blas::unmqr(Op::ConjTrans, W.tile(k, k), tt, W.tile(k, j));
-                       });
+                       },
+                       upd_pr(k, j));
         }
         for (int i = k + 1; i < mt1; ++i) {
             double const fl_ts = 2.0 * W.tile_mb(i) * nbk * nbk
@@ -189,7 +205,8 @@ void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
                                auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
                                blas::tsmqr(Op::ConjTrans, W.tile(i, k), tt,
                                            W.tile(k, j), W.tile(i, j));
-                           });
+                           },
+                           upd_pr(k, j));
             }
         }
 
@@ -220,7 +237,8 @@ void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
                            blas::ttmqr(Op::ConjTrans, W.tile(ik, k), tt,
                                        W.tile(k, j), W.tile(ik, j),
                                        /*c2_zero=*/true);
-                       });
+                       },
+                       upd_pr(k, j));
         }
 
         // --- dense fill rows of W2 above its diagonal ---------------------
@@ -247,7 +265,8 @@ void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
                                auto tt = Tmat.tile(i, k).sub(0, 0, nbk, nbk);
                                blas::tsmqr(Op::ConjTrans, W.tile(i, k), tt,
                                            W.tile(k, j), W.tile(i, j));
-                           });
+                           },
+                           upd_pr(k, j));
             }
         }
     }
@@ -257,8 +276,8 @@ void geqrf_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1, T w2_diag,
 /// Form Q (A.m-by-A.n) explicitly from a geqrf-factored A: Q := Q_factored
 /// applied to [I; 0]. Q must share A's row tiling; its column tiling must
 /// match A's first nt block columns.
-template <typename T>
-void ungqr(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat,
+template <typename Ex, typename T>
+void ungqr(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat,
            TiledMatrix<T> Q) {
     int const mt = A.mt();
     int const nt = std::min(A.mt(), A.nt());
@@ -308,8 +327,8 @@ void ungqr(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> Tmat,
 /// its reflectors can reach. The apply order is the exact reverse of
 /// geqrf_stacked_tri's fold order, and the first touch of each upper Q2
 /// diagonal tile goes through ttmqr's overwriting c2_zero path.
-template <typename T>
-void ungqr_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1,
+template <typename Ex, typename T>
+void ungqr_stacked_tri(Ex& eng, TiledMatrix<T> W, int mt1,
                        TiledMatrix<T> Tmat, TiledMatrix<T> Q) {
     int const mt = W.mt();
     int const nt = W.nt();
@@ -408,8 +427,8 @@ void ungqr_stacked_tri(rt::Engine& eng, TiledMatrix<T> W, int mt1,
 
 /// Apply Q (or Q^H) from a geqrf-factored A to a conforming matrix C from
 /// the left: C := op(Q) C. Used by the unmqr-based SVD/EVD extensions.
-template <typename T>
-void unmqr(rt::Engine& eng, Op op, TiledMatrix<T> A, TiledMatrix<T> Tmat,
+template <typename Ex, typename T>
+void unmqr(Ex& eng, Op op, TiledMatrix<T> A, TiledMatrix<T> Tmat,
            TiledMatrix<T> C) {
     int const mt = A.mt();
     int const nt = std::min(A.mt(), A.nt());

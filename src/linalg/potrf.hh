@@ -20,11 +20,16 @@ namespace tbp::la {
 /// Cholesky factorization A = L L^H (uplo == Lower) of a Hermitian positive
 /// definite tiled matrix; L overwrites the lower triangle. Upper variant
 /// factors A = U^H U. Throws tbp::Error via the tile kernel if A is not HPD.
-template <typename T>
-void potrf(rt::Engine& eng, Uplo uplo, TiledMatrix<T> A) {
+/// `lookahead` promotes trailing updates into the next `lookahead` panel
+/// columns onto the priority lane (see geqrf); 0 keeps the plain schedule.
+template <typename Ex, typename T>
+void potrf(Ex& eng, Uplo uplo, TiledMatrix<T> A, int lookahead = 0) {
     int const nt = A.nt();
     tbp_require(A.mt() == nt);
     tbp_require(uplo == Uplo::Lower);  // QDWH needs Lower; Upper unimplemented
+    auto upd_pr = [lookahead](int k, int j) {
+        return (lookahead > 0 && j - k <= lookahead) ? 1 : 0;
+    };
 
     for (int k = 0; k < nt; ++k) {
         double const fl_p = flops::potrf(A.tile_nb(k)) * (fma_flops<T>() / 2.0);
@@ -54,7 +59,8 @@ void potrf(rt::Engine& eng, Uplo uplo, TiledMatrix<T> A) {
                        [A, j, k] {
                            blas::herk(Uplo::Lower, Op::NoTrans, real_t<T>(-1),
                                       A.tile(j, k), real_t<T>(1), A.tile(j, j));
-                       });
+                       },
+                       upd_pr(k, j));
             for (int i = j + 1; i < nt; ++i) {
                 double const fl =
                     flops::gemm(A.tile_mb(i), A.tile_nb(j), A.tile_nb(k))
@@ -66,7 +72,8 @@ void potrf(rt::Engine& eng, Uplo uplo, TiledMatrix<T> A) {
                                blas::gemm(Op::NoTrans, Op::ConjTrans, T(-1),
                                           A.tile(i, k), A.tile(j, k), T(1),
                                           A.tile(i, j));
-                           });
+                           },
+                           upd_pr(k, j));
             }
         }
     }
@@ -75,9 +82,9 @@ void potrf(rt::Engine& eng, Uplo uplo, TiledMatrix<T> A) {
 
 /// Solve A X = B with A Hermitian positive definite: Cholesky factor, then
 /// two triangular solves. A is overwritten by its factor, B by X.
-template <typename T>
-void posv(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> B) {
-    potrf(eng, Uplo::Lower, A);
+template <typename Ex, typename T>
+void posv(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> B, int lookahead = 0) {
+    potrf(eng, Uplo::Lower, A, lookahead);
     trsm(eng, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, T(1), A, B);
     trsm(eng, Side::Left, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, T(1), A, B);
 }

@@ -14,6 +14,7 @@ struct Engine::Task {
     int priority = 0;
     std::uint64_t id = 0;
     JobId job = kAmbientJob;
+    std::uint64_t ops = 1;
     std::vector<std::uint64_t> dep_ids;
 
     // Scheduling state.
@@ -74,21 +75,22 @@ Engine::~Engine() {
 
 void Engine::submit(char const* name, double flops,
                     std::vector<Access> accesses, std::function<void()> fn,
-                    int priority, JobId job) {
+                    int priority, JobId job, std::uint64_t ops) {
     if (mode_ == Mode::Sequential) {
         double const t0 = wall_time();
         if (!job_poisoned(job))
             fn();  // exceptions propagate straight to the (inline) caller
         double const t1 = wall_time();
         tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        tile_ops_executed_.fetch_add(ops, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lk(stats_mtx_);
             flops_executed_ += flops;
         }
         if (trace_on_.load(std::memory_order_relaxed)) {
             std::lock_guard<std::mutex> lk(trace_mtx_);
-            trace_.push_back(
-                {name, flops, t0, t1, 0, next_id_++, {}, priority, false});
+            trace_.push_back({name, flops, t0, t1, 0, next_id_++, {}, priority,
+                              false, ops});
         }
         return;
     }
@@ -99,6 +101,7 @@ void Engine::submit(char const* name, double flops,
     t->flops = flops;
     t->priority = priority;
     t->job = job;
+    t->ops = ops;
     t->id = next_id_++;
 
     // Derive dependencies superscalar-style from the access list. A task
@@ -339,6 +342,7 @@ void Engine::run_task(Task* t, int worker_id, bool stolen) {
     double const t1 = wall_time();
 
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    tile_ops_executed_.fetch_add(t->ops, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lk(stats_mtx_);
         flops_executed_ += t->flops;
@@ -346,7 +350,7 @@ void Engine::run_task(Task* t, int worker_id, bool stolen) {
     if (trace_on_.load(std::memory_order_relaxed)) {
         std::lock_guard<std::mutex> lk(trace_mtx_);
         trace_.push_back({t->name, t->flops, t0, t1, worker_id, t->id,
-                          t->dep_ids, t->priority, stolen});
+                          t->dep_ids, t->priority, stolen, t->ops});
     }
 
     std::vector<Task*> succ;
@@ -431,6 +435,7 @@ Engine::SchedStats Engine::sched_stats() const {
 
 void Engine::reset_stats() {
     tasks_executed_.store(0);
+    tile_ops_executed_.store(0);
     local_pops_.store(0);
     steals_.store(0);
     global_pops_.store(0);

@@ -49,6 +49,25 @@ inline char const* job_class_name(JobClass c) {
     return c == JobClass::Latency ? "latency" : "bulk";
 }
 
+/// Execution-target override for a job. Auto resolves from the QoS class:
+/// Bulk jobs run on the batched device executor (throughput — coalesced
+/// engine tasks, modeled streams), Latency jobs stay per-tile (lowest
+/// time-to-first-result). Tasks/Batched force one path regardless of class.
+enum class JobTarget {
+    Auto,     ///< Bulk -> Batched, Latency -> Tasks
+    Tasks,    ///< force per-tile engine tasks
+    Batched,  ///< force the batched device executor
+};
+
+inline char const* job_target_name(JobTarget t) {
+    switch (t) {
+        case JobTarget::Auto: return "auto";
+        case JobTarget::Tasks: return "tasks";
+        case JobTarget::Batched: return "batched";
+    }
+    return "unknown";
+}
+
 struct JobSpec {
     JobKind kind = JobKind::Qdwh;
     JobClass cls = JobClass::Bulk;
@@ -63,7 +82,17 @@ struct JobSpec {
     double cond = 1e6;
     int max_iter = 0;  ///< 0 = solver default; 1 forces NotConverged paths
     int r = 0;         ///< Zolo-PD partial-fraction terms; 0 = default
+    /// Execution target; Auto routes Bulk jobs onto the batched executor.
+    JobTarget target = JobTarget::Auto;
+    int lookahead = 0;  ///< panel lookahead depth of the QR/Cholesky solves
 };
+
+/// Resolve a job's effective target from its override and QoS class.
+inline JobTarget resolve_target(JobSpec const& spec) {
+    if (spec.target != JobTarget::Auto)
+        return spec.target;
+    return spec.cls == JobClass::Bulk ? JobTarget::Batched : JobTarget::Tasks;
+}
 
 struct JobResult {
     std::uint64_t id = 0;  ///< admission-order id assigned by the service

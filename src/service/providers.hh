@@ -22,6 +22,7 @@
 
 #include "core/qdwh.hh"
 #include "core/zolopd.hh"
+#include "device/executor.hh"
 #include "gen/matgen.hh"
 #include "linalg/geqrf.hh"
 #include "linalg/potrf.hh"
@@ -63,6 +64,25 @@ inline Status validate(JobSpec const& spec) {
 
 namespace detail {
 
+/// Run `body(ex)` on the engine or on a batched executor wrapping it,
+/// per the spec's resolved target (Bulk jobs default to batched). Used by
+/// the providers without a status-returning solver dispatch of their own
+/// (posv, geqrf); qdwh/zolopd route through their options instead.
+template <typename T, typename Body>
+void with_exec(rt::Engine& eng, JobSpec const& spec, Body&& body) {
+    if (resolve_target(spec) == JobTarget::Batched) {
+        dev::ExecOptions eo;
+        eo.target = dev::Target::BatchedHost;
+        eo.tile_bytes = static_cast<std::size_t>(spec.nb)
+                        * static_cast<std::size_t>(spec.nb) * sizeof(T);
+        dev::Executor ex(eng, eo);
+        body(ex);
+        ex.wait();
+    } else {
+        body(eng);
+    }
+}
+
 /// Stage A as dense column-major scalars into `slot`; returns bytes used.
 template <typename T>
 std::size_t stage_dense(Workspace& ws, Workspace::Slot slot,
@@ -88,6 +108,9 @@ void run_qdwh(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
     QdwhOptions qo;
     if (spec.max_iter > 0)
         qo.max_iter = spec.max_iter;
+    if (resolve_target(spec) == JobTarget::Batched)
+        qo.target = dev::Target::BatchedHost;
+    qo.lookahead = spec.lookahead;
     QdwhInfo info;
     Status const s = qdwh_status(eng, A, H, info, qo);
     res.status = s;
@@ -117,6 +140,9 @@ void run_zolopd(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
         zo.max_iter = spec.max_iter;
     if (spec.r > 0)
         zo.r = spec.r;
+    if (resolve_target(spec) == JobTarget::Batched)
+        zo.target = dev::Target::BatchedHost;
+    zo.lookahead = spec.lookahead;
     ZoloInfo info;
     Status const s = zolo_pd_status(eng, A, H, info, zo);
     res.status = s;
@@ -146,7 +172,9 @@ void run_posv(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
     }
     TiledMatrix<T> B(spec.n, spec.m, spec.nb);
     gen::fill_gaussian(eng, B, spec.seed ^ 0x9e3779b97f4a7c15ULL);
-    la::posv(eng, A, B);  // throws tbp::Error on a non-HPD pivot
+    // throws tbp::Error on a non-HPD pivot
+    with_exec<T>(eng, spec,
+                 [&](auto& ex) { la::posv(ex, A, B, spec.lookahead); });
     eng.wait();
     res.status = Status::Ok;
     res.converged = true;
@@ -161,9 +189,11 @@ void run_geqrf(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
     TiledMatrix<T> A(spec.m, spec.n, spec.nb);
     gen::fill_gaussian(eng, A, spec.seed);
     TiledMatrix<T> Tm = la::alloc_qr_t(A);
-    la::geqrf(eng, A, Tm);
     TiledMatrix<T> Q(spec.m, spec.n, spec.nb);
-    la::ungqr(eng, A, Tm, Q);
+    with_exec<T>(eng, spec, [&](auto& ex) {
+        la::geqrf(ex, A, Tm, spec.lookahead);
+        la::ungqr(ex, A, Tm, Q);
+    });
     eng.wait();
     res.status = Status::Ok;
     res.converged = true;

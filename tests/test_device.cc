@@ -1,0 +1,420 @@
+// Device-executor tests: the batched path (dev::Executor, Target::
+// BatchedHost) must be bitwise identical to the per-tile oracle — the
+// collector only changes how tile operations are grouped into scheduler
+// tasks, never what runs or in what order on each tile — and its DAG
+// accounting (tile ops vs engine tasks) must reconcile exactly with the
+// perf model's batch-aware replay.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/qdwh.hh"
+#include "device/executor.hh"
+#include "gen/matgen.hh"
+#include "linalg/gemm.hh"
+#include "linalg/geqrf.hh"
+#include "linalg/potrf.hh"
+#include "linalg/util.hh"
+#include "matrix/tiled_matrix.hh"
+#include "perf/cost_model.hh"
+#include "runtime/engine.hh"
+#include "runtime/trace_analysis.hh"
+#include "test_util.hh"
+
+using namespace tbp;
+
+namespace {
+
+/// Bitwise equality: the batched path must not perturb a single ulp.
+template <typename T>
+void expect_bitwise(TiledMatrix<T> const& A, TiledMatrix<T> const& B) {
+    ASSERT_EQ(A.m(), B.m());
+    ASSERT_EQ(A.n(), B.n());
+    for (std::int64_t j = 0; j < A.n(); ++j)
+        for (std::int64_t i = 0; i < A.m(); ++i) {
+            T const a = A.at(i, j);
+            T const b = B.at(i, j);
+            ASSERT_EQ(0, std::memcmp(&a, &b, sizeof(T)))
+                << "mismatch at (" << i << ", " << j << ")";
+        }
+}
+
+dev::ExecOptions batched_opts(int max_batch = 32) {
+    dev::ExecOptions eo;
+    eo.target = dev::Target::BatchedHost;
+    eo.max_batch = max_batch;
+    return eo;
+}
+
+}  // namespace
+
+template <typename T>
+class DeviceTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(DeviceTyped, test::AllTypes);
+
+// Batched gemm vs the per-tile oracle, with ragged edge tiles (dimensions
+// deliberately not multiples of nb: edge tiles carry different flop keys
+// and must split off into their own groups without corrupting anything).
+TYPED_TEST(DeviceTyped, GemmBitwiseVsOracle) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const nb = 16;
+    std::int64_t const m = 70, n = 53, k = 37;
+    TiledMatrix<T> A(m, k, nb), B(k, n, nb), C0(m, n, nb), C1(m, n, nb);
+    gen::fill_gaussian(eng, A, 11);
+    gen::fill_gaussian(eng, B, 22);
+    gen::fill_gaussian(eng, C0, 33);
+    la::copy(eng, C0, C1);
+    eng.wait();
+
+    la::gemm(eng, Op::NoTrans, Op::NoTrans, T(1), A, B, T(2), C0);
+    eng.wait();
+
+    dev::Executor ex(eng, batched_opts(8));
+    la::gemm(ex, Op::NoTrans, Op::NoTrans, T(1), A, B, T(2), C1);
+    ex.wait();
+
+    expect_bitwise(C0, C1);
+    EXPECT_GT(ex.batch_stats().coalescing(), 1.0);
+}
+
+// Batched dense QR (geqrf + ungqr: the unmqr/tsmqr update sweeps coalesce,
+// the geqrt/tsqrt panel chain stays per-tile) vs the oracle, ragged tiles.
+TYPED_TEST(DeviceTyped, GeqrfBitwiseVsOracle) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const nb = 16;
+    std::int64_t const m = 93, n = 60;
+    TiledMatrix<T> A0(m, n, nb), A1(m, n, nb);
+    gen::fill_gaussian(eng, A0, 7);
+    la::copy(eng, A0, A1);
+    eng.wait();
+
+    TiledMatrix<T> T0 = la::alloc_qr_t(A0);
+    TiledMatrix<T> Q0(m, n, nb);
+    la::geqrf(eng, A0, T0);
+    la::ungqr(eng, A0, T0, Q0);
+    eng.wait();
+
+    dev::Executor ex(eng, batched_opts());
+    TiledMatrix<T> T1 = la::alloc_qr_t(A1);
+    TiledMatrix<T> Q1(m, n, nb);
+    la::geqrf(ex, A1, T1);
+    la::ungqr(ex, A1, T1, Q1);
+    ex.wait();
+
+    expect_bitwise(A0, A1);
+    expect_bitwise(Q0, Q1);
+}
+
+// Batched structured stacked QR (the ttqrt/ttmqr fold path of the QDWH
+// iterate) vs the oracle.
+TYPED_TEST(DeviceTyped, StackedTriBitwiseVsOracle) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    int const nb = 16;
+    std::int64_t const n = 64;
+    int const mt1 = 4, nt = 4;
+    TiledMatrix<T> W0(2 * n, n, nb), W1(2 * n, n, nb);
+    // Only W1 (the top block) is caller-initialized; W2 rows belong to the
+    // structured factorization.
+    gen::fill_gaussian(eng, W0.sub(0, 0, mt1, nt), 5);
+    la::copy(eng, W0.sub(0, 0, mt1, nt), W1.sub(0, 0, mt1, nt));
+    eng.wait();
+
+    T const diag = from_real<T>(real_t<T>(0.75));
+    TiledMatrix<T> T0 = la::alloc_qr_t(W0);
+    TiledMatrix<T> Q0(2 * n, n, nb);
+    la::geqrf_stacked_tri(eng, W0, mt1, diag, T0);
+    la::ungqr_stacked_tri(eng, W0, mt1, T0, Q0);
+    eng.wait();
+
+    dev::Executor ex(eng, batched_opts(16));
+    TiledMatrix<T> T1 = la::alloc_qr_t(W1);
+    TiledMatrix<T> Q1(2 * n, n, nb);
+    la::geqrf_stacked_tri(ex, W1, mt1, diag, T1);
+    la::ungqr_stacked_tri(ex, W1, mt1, T1, Q1);
+    ex.wait();
+
+    expect_bitwise(W0, W1);
+    expect_bitwise(Q0, Q1);
+}
+
+// max_batch = 1 degenerates to the per-tile path: one engine task per tile
+// op, still bitwise identical.
+TEST(Device, BatchSizeOne) {
+    rt::Engine eng(2);
+    int const nb = 8;
+    TiledMatrix<double> A(32, 32, nb), B(32, 32, nb), C0(32, 32, nb),
+        C1(32, 32, nb);
+    gen::fill_gaussian(eng, A, 1);
+    gen::fill_gaussian(eng, B, 2);
+    la::set(eng, 0.0, 0.0, C0);
+    la::set(eng, 0.0, 0.0, C1);
+    eng.wait();
+
+    la::gemm(eng, Op::NoTrans, Op::NoTrans, 1.0, A, B, 0.0, C0);
+    eng.wait();
+
+    dev::Executor ex(eng, batched_opts(1));
+    la::gemm(ex, Op::NoTrans, Op::NoTrans, 1.0, A, B, 0.0, C1);
+    ex.wait();
+
+    expect_bitwise(C0, C1);
+    auto const& bs = ex.batch_stats();
+    EXPECT_EQ(bs.ops, bs.tasks);
+    EXPECT_EQ(bs.groups, 0u);
+    EXPECT_DOUBLE_EQ(bs.coalescing(), 1.0);
+}
+
+// An executor with no submissions: flush/fence/wait are no-ops and the
+// stats stay zero (empty-batch edge of the collector).
+TEST(Device, EmptyExecutor) {
+    rt::Engine eng(1);
+    dev::Executor ex(eng, batched_opts());
+    ex.flush();
+    ex.op_fence();
+    ex.wait();
+    ex.wait();  // idempotent
+    EXPECT_EQ(ex.batch_stats().ops, 0u);
+    EXPECT_EQ(ex.batch_stats().tasks, 0u);
+    EXPECT_EQ(ex.stream_stats().issues, 0u);
+    EXPECT_EQ(ex.stream_stats().h2d_events, 0u);
+}
+
+// The Tasks-target executor is a transparent passthrough: no grouping, no
+// stream traffic, identical results.
+TEST(Device, TasksTargetPassthrough) {
+    rt::Engine eng(2);
+    dev::ExecOptions eo;  // Target::Tasks
+    dev::Executor ex(eng, eo);
+    TiledMatrix<double> A(24, 24, 8), B(24, 24, 8), C(24, 24, 8);
+    gen::fill_gaussian(eng, A, 3);
+    gen::fill_gaussian(eng, B, 4);
+    la::set(ex, 0.0, 0.0, C);
+    la::gemm(ex, Op::NoTrans, Op::NoTrans, 1.0, A, B, 0.0, C);
+    ex.wait();
+    auto const& bs = ex.batch_stats();
+    EXPECT_EQ(bs.ops, bs.tasks);
+    EXPECT_EQ(ex.stream_stats().h2d_bytes, 0.0);
+}
+
+// Batched QDWH must be bitwise identical to the per-tile oracle. The
+// engine runs in Sequential mode: the norm estimates accumulate partial
+// sums in task-completion order, which is schedule-dependent under a
+// multithreaded engine for both targets alike — Sequential pins it so the
+// comparison is exact.
+TYPED_TEST(DeviceTyped, QdwhBitwiseVsOracle) {
+    using T = TypeParam;
+    rt::Engine eng(1, rt::Mode::Sequential);
+    std::int64_t const n = 48;
+    int const nb = 16;
+    gen::MatGenOptions g;
+    g.cond = 1e4;
+    g.seed = 99;
+    TiledMatrix<T> A0 = gen::cond_matrix<T>(eng, n, n, nb, g);
+    TiledMatrix<T> A1(n, n, nb);
+    la::copy(eng, A0, A1);
+    eng.wait();
+    TiledMatrix<T> H0(n, n, nb), H1(n, n, nb);
+
+    QdwhInfo i0, i1;
+    QdwhOptions o0;
+    ASSERT_EQ(Status::Ok, qdwh_status(eng, A0, H0, i0, o0));
+
+    QdwhOptions o1;
+    o1.target = dev::Target::BatchedHost;
+    ASSERT_EQ(Status::Ok, qdwh_status(eng, A1, H1, i1, o1));
+
+    EXPECT_EQ(i0.iterations, i1.iterations);
+    expect_bitwise(A0, A1);
+    expect_bitwise(H0, H1);
+    // The batched run reports its DAG shape: ops routed, tasks created,
+    // and a real coalescing factor.
+    EXPECT_GT(i1.tile_ops, 0u);
+    EXPECT_GT(i1.engine_tasks, 0u);
+    EXPECT_LT(i1.engine_tasks, i1.tile_ops);
+    EXPECT_GT(i1.coalescing, 1.0);
+    EXPECT_GT(i1.stream_h2d_bytes, 0.0);
+    EXPECT_GE(i1.stream_overlap, 0.0);
+    EXPECT_LE(i1.stream_overlap, 1.0);
+}
+
+// Lookahead is a pure scheduling hint: promoting updates into the next
+// panels' columns changes priorities only, never the numerical result.
+TYPED_TEST(DeviceTyped, LookaheadBitwise) {
+    using T = TypeParam;
+    rt::Engine eng(3);
+    std::int64_t const m = 96, n = 64;
+    int const nb = 16;
+    TiledMatrix<T> A0(m, n, nb), A1(m, n, nb);
+    gen::fill_gaussian(eng, A0, 17);
+    la::copy(eng, A0, A1);
+    eng.wait();
+
+    TiledMatrix<T> T0 = la::alloc_qr_t(A0);
+    TiledMatrix<T> T1 = la::alloc_qr_t(A1);
+    la::geqrf(eng, A0, T0, /*lookahead=*/0);
+    la::geqrf(eng, A1, T1, /*lookahead=*/2);
+    eng.wait();
+    expect_bitwise(A0, A1);
+
+    // potrf lookahead likewise (on a fresh HPD matrix).
+    TiledMatrix<T> P0 = gen::hpd_matrix<T>(eng, n, nb, 23);
+    TiledMatrix<T> P1(n, n, nb);
+    la::copy(eng, P0, P1);
+    eng.wait();
+    la::potrf(eng, Uplo::Lower, P0, /*lookahead=*/0);
+    la::potrf(eng, Uplo::Lower, P1, /*lookahead=*/3);
+    eng.wait();
+    expect_bitwise(P0, P1);
+}
+
+// DAG accounting: for a uniform tiling, the traced batched run must match
+// perf::qr_batched_counts exactly — tile_ops equals the per-tile replay
+// (qr_task_counts) and tasks equals the collector replay.
+TEST(Device, DenseQrCountsMatchTrace) {
+    rt::Engine eng(2);
+    int const nb = 8;
+    int const mt1 = 4, nt = 3;
+    int const max_batch = 6;
+    std::int64_t const m = static_cast<std::int64_t>(mt1 + nt) * nb;
+    std::int64_t const n = static_cast<std::int64_t>(nt) * nb;
+
+    TiledMatrix<double> W(m, n, nb);
+    gen::fill_gaussian(eng, W.sub(0, 0, mt1, nt), 3);
+    eng.wait();
+    eng.reset_stats();
+    eng.set_trace(true);
+
+    dev::Executor ex(eng, batched_opts(max_batch));
+    // The dense contract of qr_task_counts: W2 := I, geqrf(W), Q := I,
+    // ungqr — submitted in exactly this order.
+    la::set_identity(ex, W.sub(mt1, 0, nt, nt));
+    TiledMatrix<double> Tm = la::alloc_qr_t(W);
+    la::geqrf(ex, W, Tm);
+    TiledMatrix<double> Q(m, n, nb);
+    la::ungqr(ex, W, Tm, Q);
+    ex.wait();
+    eng.set_trace(false);
+
+    auto const dag = rt::analyze(eng.trace());
+    auto const per_tile = perf::qr_task_counts(mt1, nt, /*structured=*/false);
+    auto const batched =
+        perf::qr_batched_counts(mt1, nt, nb, /*structured=*/false, max_batch);
+
+    EXPECT_EQ(batched.tile_ops, per_tile.total());
+    EXPECT_EQ(static_cast<std::int64_t>(dag.tile_ops), batched.tile_ops);
+    EXPECT_EQ(static_cast<std::int64_t>(dag.tasks), batched.engine_tasks);
+    EXPECT_EQ(static_cast<std::int64_t>(ex.batch_stats().ops),
+              batched.tile_ops);
+    EXPECT_EQ(static_cast<std::int64_t>(ex.batch_stats().tasks),
+              batched.engine_tasks);
+    EXPECT_LT(batched.engine_tasks, batched.tile_ops);
+}
+
+// Same reconciliation for the structured stacked-triangle path.
+TEST(Device, StructuredQrCountsMatchTrace) {
+    rt::Engine eng(2);
+    int const nb = 8;
+    int const mt1 = 4, nt = 4;
+    int const max_batch = 8;
+    std::int64_t const m = static_cast<std::int64_t>(mt1 + nt) * nb;
+    std::int64_t const n = static_cast<std::int64_t>(nt) * nb;
+
+    TiledMatrix<double> W(m, n, nb);
+    gen::fill_gaussian(eng, W.sub(0, 0, mt1, nt), 3);
+    eng.wait();
+    eng.reset_stats();
+    eng.set_trace(true);
+
+    dev::Executor ex(eng, batched_opts(max_batch));
+    TiledMatrix<double> Tm = la::alloc_qr_t(W);
+    la::geqrf_stacked_tri(ex, W, mt1, 1.0, Tm);
+    TiledMatrix<double> Q(m, n, nb);
+    la::ungqr_stacked_tri(ex, W, mt1, Tm, Q);
+    ex.wait();
+    eng.set_trace(false);
+
+    auto const dag = rt::analyze(eng.trace());
+    auto const per_tile = perf::qr_task_counts(mt1, nt, /*structured=*/true);
+    auto const batched =
+        perf::qr_batched_counts(mt1, nt, nb, /*structured=*/true, max_batch);
+
+    EXPECT_EQ(batched.tile_ops, per_tile.total());
+    EXPECT_EQ(static_cast<std::int64_t>(dag.tile_ops), batched.tile_ops);
+    EXPECT_EQ(static_cast<std::int64_t>(dag.tasks), batched.engine_tasks);
+    EXPECT_LT(batched.engine_tasks, batched.tile_ops);
+}
+
+// The acceptance bar of the batched path: at QDWH scale (nt >= 16 panels)
+// the scheduler sees at least 5x fewer tasks than tile ops.
+TEST(Device, TaskReductionAtScale) {
+    auto const c =
+        perf::qr_batched_counts(16, 16, 64, /*structured=*/true, 32);
+    EXPECT_GE(c.coalescing(), 5.0);
+}
+
+// Stream model sanity: issuing batches stages tiles H2D once (residency),
+// sync writes dirty tiles back D2H, overlap stays in [0, 1]. One device,
+// because residency is per-device and placement round-robins across them.
+TEST(Device, StreamModel) {
+    perf::MachineModel mach = perf::MachineModel::summit(1);
+    std::size_t const tile_bytes = 64 * 64 * sizeof(double);
+    dev::StreamSet ss(1, mach, tile_bytes);
+
+    int x = 0, y = 0, z = 0;
+    std::vector<rt::Access> acc = {rt::read(&x), rt::read(&y),
+                                   rt::readwrite(&z)};
+    ss.issue(acc, 1e9);
+    auto const& st1 = ss.stats();
+    EXPECT_EQ(st1.issues, 1u);
+    EXPECT_EQ(st1.h2d_events, 3u);
+    EXPECT_EQ(st1.h2d_bytes, 3.0 * static_cast<double>(tile_bytes));
+    EXPECT_GT(st1.compute_seconds, 0.0);
+
+    // Re-issuing the same accesses is resident: no new H2D traffic.
+    ss.issue(acc, 1e9);
+    EXPECT_EQ(ss.stats().h2d_events, 3u);
+
+    ss.sync();
+    auto const& st2 = ss.stats();
+    EXPECT_EQ(st2.d2h_events, 1u);  // only z is dirty
+    EXPECT_EQ(st2.d2h_bytes, static_cast<double>(tile_bytes));
+    EXPECT_GE(st2.overlap_fraction(), 0.0);
+    EXPECT_LE(st2.overlap_fraction(), 1.0);
+
+    ss.reset_residency();
+    ss.issue(acc, 1e9);
+    EXPECT_EQ(ss.stats().h2d_events, 6u);
+
+    // Round-robin placement: two devices alternate, and each stages its
+    // own copy of the operands (residency is per-device).
+    dev::StreamSet ss2(2, mach, tile_bytes);
+    EXPECT_EQ(ss2.issue(acc, 1e9), 0);
+    EXPECT_EQ(ss2.issue(acc, 1e9), 1);
+    EXPECT_EQ(ss2.stats().h2d_events, 6u);
+}
+
+// Error propagation through a batched body: a throwing tile op must
+// surface at the executor's synchronization point like any engine task.
+TEST(Device, BatchedErrorPropagates) {
+    rt::Engine eng(2);
+    int const nb = 8;
+    TiledMatrix<double> A = gen::hpd_matrix<double>(eng, 32, nb, 31);
+    // Make the matrix indefinite so potrf's trailing solve chain feeds a
+    // batched herk/gemm sweep after a failing pivot.
+    for (std::int64_t i = 0; i < 32; ++i)
+        A.at(i, i) -= 1000.0;
+    eng.wait();
+    dev::Executor ex(eng, batched_opts());
+    EXPECT_THROW(
+        {
+            la::potrf(ex, Uplo::Lower, A);
+            ex.wait();
+        },
+        Error);
+    // The engine must be clean again for the next use.
+    eng.wait();
+}

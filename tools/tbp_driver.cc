@@ -35,6 +35,7 @@
 #include "perf/sched_report.hh"
 #include "core/qdwh.hh"
 #include "core/qdwh_mixed.hh"
+#include "device/executor.hh"
 #include "core/qdwh_svd.hh"
 #include "core/zolopd.hh"
 #include "gen/matgen.hh"
@@ -65,6 +66,10 @@ struct Args {
     int jobs = 200;            // --algo serve: batch size
     double rate = 0;           // arrival rate jobs/s (0 -> submit at once)
     bool fifo = false;         // serve: disable the QoS priority split
+    dev::Target target = dev::Target::Tasks;  // per-tile oracle or batched
+    bool target_set = false;   // --target given (serve: Auto when unset)
+    int lookahead = 0;         // panel lookahead depth (geqrf/potrf)
+    int max_batch = 32;        // largest coalesced batch under --target batched
 };
 
 [[noreturn]] void usage(char const* argv0) {
@@ -79,7 +84,15 @@ struct Args {
                  "          [--ranks P] [--grid PxQ] [--comm engine|legacy|"
                  "ring]\n"
                  "          [--jobs J] [--rate JOBS_PER_SEC] [--fifo]\n"
+                 "          [--target tasks|batched] [--lookahead D] "
+                 "[--max-batch B]\n"
                  "\n"
+                 "  --target batched coalesces same-shape tile ops into "
+                 "batched engine\n"
+                 "  tasks (SLATE Target::Devices analogue); tasks is the "
+                 "per-tile oracle.\n"
+                 "  --lookahead D prioritizes trailing updates feeding the "
+                 "next D panels.\n"
                  "  --algo dqdwh runs the distributed QDWH over P virtual "
                  "ranks.\n"
                  "  --algo serve runs a mixed qdwh/zolo/posv/geqrf batch of "
@@ -159,6 +172,19 @@ Args parse(int argc, char** argv) {
             a.rate = std::atof(need("--rate"));
         } else if (!std::strcmp(argv[i], "--fifo")) {
             a.fifo = true;
+        } else if (!std::strcmp(argv[i], "--target")) {
+            std::string t = need("--target");
+            if (t != "tasks" && t != "batched") {
+                std::fprintf(stderr, "unknown --target %s\n", t.c_str());
+                usage(argv[0]);
+            }
+            a.target = t == "batched" ? dev::Target::BatchedHost
+                                      : dev::Target::Tasks;
+            a.target_set = true;
+        } else if (!std::strcmp(argv[i], "--lookahead")) {
+            a.lookahead = std::atoi(need("--lookahead"));
+        } else if (!std::strcmp(argv[i], "--max-batch")) {
+            a.max_batch = std::atoi(need("--max-batch"));
         } else if (!std::strcmp(argv[i], "--comm")) {
             a.comm = need("--comm");
             if (a.comm != "engine" && a.comm != "legacy" && a.comm != "ring") {
@@ -208,15 +234,29 @@ int run_tiled(Args const& a) {
     eng.reset_stats();
     double const kflops0 = blas::kernel::flops_performed();
 
+    std::uint64_t batch_ops = 0, batch_tasks = 0;
+    double coalescing = 0, stream_h2d = 0, stream_overlap = 0;
     if (a.algo == "qdwh") {
-        auto info = qdwh(eng, A, H);
+        QdwhOptions qo;
+        qo.target = a.target;
+        qo.lookahead = a.lookahead;
+        qo.max_batch = a.max_batch;
+        auto info = qdwh(eng, A, H, qo);
         iters = info.iterations;
         it_qr = info.it_qr;
         it_chol = info.it_chol;
         flops = info.flops;
+        batch_ops = info.tile_ops;
+        batch_tasks = info.engine_tasks;
+        coalescing = info.coalescing;
+        stream_h2d = info.stream_h2d_bytes;
+        stream_overlap = info.stream_overlap;
     } else if (a.algo == "zolo") {
         ZoloOptions zo;
         zo.r = a.r;
+        zo.target = a.target;
+        zo.lookahead = a.lookahead;
+        zo.max_batch = a.max_batch;
         auto info = zolo_pd(eng, A, H, zo);
         iters = info.iterations;
         it_qr = info.qr_solves;
@@ -255,12 +295,20 @@ int run_tiled(Args const& a) {
     auto UH = ref::gemm(Op::NoTrans, Op::NoTrans, T(1), U, Hd);
     double const bwd = ref::diff_fro(UH, Ad) / ref::norm_fro(Ad);
 
-    std::printf("algo=%-6s type=%c m=%lld n=%lld nb=%d cond=%.1e mode=%s\n",
+    std::printf("algo=%-6s type=%c m=%lld n=%lld nb=%d cond=%.1e mode=%s "
+                "target=%s lookahead=%d\n",
                 a.algo.c_str(), a.type, static_cast<long long>(a.m),
                 static_cast<long long>(a.n), a.nb, a.cond,
                 a.mode == rt::Mode::TaskDataflow ? "task"
                 : a.mode == rt::Mode::ForkJoin   ? "forkjoin"
-                                                 : "seq");
+                                                 : "seq",
+                dev::target_name(a.target), a.lookahead);
+    if (batch_tasks > 0)
+        std::printf("  batched: %llu tile ops in %llu engine tasks "
+                    "(%.1fx coalescing)   h2d %.1f MB   overlap %.2f\n",
+                    static_cast<unsigned long long>(batch_ops),
+                    static_cast<unsigned long long>(batch_tasks), coalescing,
+                    stream_h2d / 1e6, stream_overlap);
     std::printf("  iterations %d (qr/solves %d, chol %d)   time %.3fs   "
                 "%.2f Gflop/s\n",
                 iters, it_qr, it_chol, secs, flops / secs / 1e9);
@@ -434,6 +482,13 @@ int run_serve(Args const& a) {
         s.seed = a.seed + static_cast<std::uint64_t>(i);
         if (s.kind == svc::JobKind::ZoloPd)
             s.r = a.r;
+        // Default Auto routes Bulk jobs onto the batched executor; an
+        // explicit --target forces one path for the whole batch.
+        if (a.target_set)
+            s.target = a.target == dev::Target::BatchedHost
+                           ? svc::JobTarget::Batched
+                           : svc::JobTarget::Tasks;
+        s.lookahead = a.lookahead;
         if (a.rate > 0) {
             double const u = arrivals.uniform(static_cast<std::uint64_t>(i));
             t_arr += -std::log1p(-std::min(u, 0.999999)) / a.rate;
