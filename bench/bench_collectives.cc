@@ -98,11 +98,30 @@ Measured run_case(perf::CollKind kind, comm::coll::Algo algo, int P,
 perf::CollVolume predict(perf::CollKind kind, comm::coll::Algo algo, int P,
                          std::size_t count, int reps) {
     auto v = perf::collective_volume(kind, algo, P, count, sizeof(double));
-    v.messages *= static_cast<std::uint64_t>(reps);
-    v.bytes *= static_cast<std::uint64_t>(reps);
-    v.max_rank_sends *= static_cast<std::uint64_t>(reps);
-    v.max_rank_bytes *= static_cast<std::uint64_t>(reps);
+    auto const r = static_cast<std::uint64_t>(reps);
+    v.messages *= r;
+    v.bytes *= r;
+    v.max_rank_sends *= r;
+    v.max_rank_bytes *= r;
+    v.bcast_bytes *= r;
+    v.reduce_bytes *= r;
+    v.allreduce_bytes *= r;
+    v.allgather_bytes *= r;
+    v.p2p_bytes *= r;
     return v;
+}
+
+/// The per-family attribution must charge everything to the family that was
+/// called: the field matching `kind` equals `bytes`, the rest stay zero.
+bool check_attribution(perf::CollKind kind, perf::CollVolume const& v) {
+    std::uint64_t const want[4] = {v.bcast_bytes, v.reduce_bytes,
+                                   v.allreduce_bytes, v.allgather_bytes};
+    for (int i = 0; i < 4; ++i) {
+        bool const mine = i == static_cast<int>(kind);
+        if (want[i] != (mine ? v.bytes : 0))
+            return false;
+    }
+    return v.p2p_bytes == 0;
 }
 
 bool check_match(Measured const& m, perf::CollVolume const& v) {
@@ -133,19 +152,27 @@ int run_sweep(std::string const& json_path) {
     bench::JsonEmitter out;
     bool all_match = true;
 
-    std::vector<int> const ranks = {2, 3, 4, 6, 8};
-    std::vector<std::size_t> const counts = {256, 4096, 65536};
-    int const reps = 20;
+    // Weak-scaling tail: past 8 virtual ranks the time-shared threads make
+    // wall time meaningless and the allgather buffers grow as P * count, so
+    // the large-P rows keep the exact traffic cross-check but drop the big
+    // message size and most reps.
+    std::vector<int> const ranks = {2, 3, 4, 6, 8, 16, 64};
+    int const reps_small = 20;
 
     for (auto kind : {perf::CollKind::Bcast, perf::CollKind::Reduce,
                       perf::CollKind::Allreduce, perf::CollKind::Allgather}) {
         std::printf("\n%s:\n", kind_name(kind));
         for (int P : ranks) {
+            std::vector<std::size_t> const counts =
+                P <= 8 ? std::vector<std::size_t>{256, 4096, 65536}
+                       : std::vector<std::size_t>{256, 4096};
+            int const reps = P <= 8 ? reps_small : 3;
             for (std::size_t count : counts) {
                 for (auto algo : algos_for(kind)) {
                     auto m = run_case(kind, algo, P, count, reps);
                     auto v = predict(kind, algo, P, count, reps);
-                    bool const ok = check_match(m, v);
+                    bool const ok =
+                        check_match(m, v) && check_attribution(kind, v);
                     all_match = all_match && ok;
                     std::printf(
                         "  P=%d count=%6zu %-9s %8.1f us/op  msgs %6llu  "
@@ -176,6 +203,11 @@ int run_sweep(std::string const& json_path) {
                         .field("model_bytes", v.bytes)
                         .field("model_max_rank_sends", v.max_rank_sends)
                         .field("model_max_rank_bytes", v.max_rank_bytes)
+                        .field("model_bcast_bytes", v.bcast_bytes)
+                        .field("model_reduce_bytes", v.reduce_bytes)
+                        .field("model_allreduce_bytes", v.allreduce_bytes)
+                        .field("model_allgather_bytes", v.allgather_bytes)
+                        .field("model_p2p_bytes", v.p2p_bytes)
                         .field("model_match", ok);
                     out.add(r);
                 }
@@ -207,6 +239,8 @@ int run_smoke() {
             for (auto algo : algos_for(kind)) {
                 auto m = run_case(kind, algo, P, 512, 3);
                 auto v = predict(kind, algo, P, 512, 3);
+                if (!check_attribution(kind, v))
+                    fail("per-family byte attribution wrong");
                 if (!check_match(m, v)) {
                     std::printf("  %s/%s P=%d: measured %llu msgs %llu bytes "
                                 "max %llu vs model %llu/%llu/%llu\n",

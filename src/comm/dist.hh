@@ -39,7 +39,10 @@ public:
         : comm_(&comm), grid_(grid),
           rb_(TiledMatrix<T>::chop(m, nb)), cb_(TiledMatrix<T>::chop(n, nb)),
           m_(m), n_(n) {
-        tbp_require(grid.size() == comm.size());
+        // The grid may be smaller than the communicator: 2.5D SUMMA builds
+        // matrices on the p x q layer grid of a p*q*c world, so ranks
+        // >= grid.size() (the replication layers) own no tiles.
+        tbp_require(grid.size() <= comm.size());
         mt_ = static_cast<int>(rb_.size());
         nt_ = static_cast<int>(cb_.size());
         local_.resize(static_cast<size_t>(mt_) * nt_);
@@ -51,6 +54,7 @@ public:
     }
 
     int rank() const { return comm_->rank(); }
+    Grid grid() const { return grid_; }
     int owner(int i, int j) const {
         return (i % grid_.p) * grid_.q + (j % grid_.q);
     }

@@ -28,6 +28,7 @@
 #include "blas/level3.hh"
 #include "blas/util.hh"
 #include "comm/dist.hh"
+#include "linalg/summa_step.hh"
 
 namespace tbp::comm {
 
@@ -251,9 +252,10 @@ void dist_gemm(Communicator& c, Grid g, T alpha, DistMatrix<T>& A,
         for (int j = 0; j < nt; ++j)
             for (int i = 0; i < mt; ++i)
                 if (C.is_local(i, j))
-                    blas::gemm(Op::NoTrans, Op::NoTrans, alpha,
-                               cur.a[i].ready().tile(),
-                               cur.b[j].ready().tile(), T(1), C.tile(i, j));
+                    la::summa_step_accumulate(Op::NoTrans, Op::NoTrans, alpha,
+                                              cur.a[i].ready().tile(),
+                                              cur.b[j].ready().tile(),
+                                              C.tile(i, j));
         if (!pipelined && l + 1 < kt)
             next = stage_step(l + 1);
         cur = std::move(next);

@@ -13,16 +13,27 @@
 #pragma once
 
 #include "comm/dist_qr.hh"
+#include "comm/dist_summa25.hh"
+#include "comm/grid3d.hh"
 
 namespace tbp::comm {
 
 /// Distributed QDWH: A (m x n tiles, m >= n, m % nb == 0) is overwritten by
 /// U_p. l0 is a lower bound on sigma_min(A)/sigma_max(A). Every rank
 /// returns identical info.
+///
+/// The matrices live on g3's p x q layer grid; with g3.c > 1 the trailing
+/// A := theta Q1 Q2^H + beta A update of each QR iteration runs as 2.5D
+/// SUMMA over the replication layers (the factorizations, norms, and the
+/// Cholesky branch stay on layer 0, with layers >= 1 idle or contributing
+/// exact zeros to the collectives — in deterministic mode the ascending-
+/// rank folds make every iterate bit-identical to the 2D oracle).
 template <typename T>
-DistQdwhInfo dist_qdwh(Communicator& c, Grid g, DistMatrix<T>& A, double l0,
-                       int max_iter = 30) {
+DistQdwhInfo dist_qdwh(Communicator& c, ProcGrid3d g3, DistMatrix<T>& A,
+                       double l0, int max_iter = 30) {
     using R = real_t<T>;
+    Grid const g = g3.layer();
+    tbp_require(c.size() == g3.size());
     int const mt = A.mt(), nt = A.nt();
     int const nb = A.tile_nb(0);
     tbp_require(A.m() >= A.n());
@@ -92,6 +103,14 @@ DistQdwhInfo dist_qdwh(Communicator& c, Grid g, DistMatrix<T>& A, double l0,
             // index l; Q1 = top mt block rows of Q, Q2 = the rest).
             R const theta = (a - b / cc) / sq;
             R const beta = b / cc;
+            if (g3.c > 1) {
+                // Replicated-layer trailing update; folds through
+                // la::summa_step_accumulate like the 2D loop below, so
+                // deterministic mode stays bit-identical to it.
+                summa_25d(c, g3, Op::ConjTrans, from_real<T>(theta), Q, Q, mt,
+                          from_real<T>(beta), A, tag_base);
+                tag_base += summa25_tag_span(mt, nt, nt);
+            } else {
             for (int j = 0; j < nt; ++j)
                 for (int i = 0; i < mt; ++i)
                     if (A.is_local(i, j))
@@ -135,16 +154,16 @@ DistQdwhInfo dist_qdwh(Communicator& c, Grid g, DistMatrix<T>& A, double l0,
                 for (int j = 0; j < nt; ++j)
                     for (int i = 0; i < mt; ++i)
                         if (A.is_local(i, j))
-                            blas::gemm(Op::NoTrans, Op::ConjTrans,
-                                       from_real<T>(theta),
-                                       cur.q1[i].ready().tile(),
-                                       cur.q2[j].ready().tile(), T(1),
-                                       A.tile(i, j));
+                            la::summa_step_accumulate(
+                                Op::NoTrans, Op::ConjTrans,
+                                from_real<T>(theta), cur.q1[i].ready().tile(),
+                                cur.q2[j].ready().tile(), A.tile(i, j));
                 if (!pipelined && l + 1 < nt)
                     next = stage_step(l + 1);
                 cur = std::move(next);
             }
-            tag_base += nt * (mt + nt);
+            tag_base += summa25_tag_span(mt, nt, nt);
+            }
         } else {
             // --- Cholesky-based iteration (Eq. 2) ---------------------------
             dist_set_identity(Z);
@@ -162,6 +181,13 @@ DistQdwhInfo dist_qdwh(Communicator& c, Grid g, DistMatrix<T>& A, double l0,
     }
     info.conv = static_cast<double>(conv);
     return info;
+}
+
+/// 2D entry point: the p x q grid spans the whole communicator (c == 1).
+template <typename T>
+DistQdwhInfo dist_qdwh(Communicator& c, Grid g, DistMatrix<T>& A, double l0,
+                       int max_iter = 30) {
+    return dist_qdwh(c, ProcGrid3d{g.p, g.q, 1}, A, l0, max_iter);
 }
 
 }  // namespace tbp::comm

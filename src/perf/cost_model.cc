@@ -193,7 +193,157 @@ CollVolume collective_volume(CollKind kind, comm::coll::Algo algo, int nranks,
             }
             break;
     }
-    return v.result();
+    auto out = v.result();
+    switch (kind) {
+        case CollKind::Bcast: out.bcast_bytes = out.bytes; break;
+        case CollKind::Reduce: out.reduce_bytes = out.bytes; break;
+        case CollKind::Allreduce: out.allreduce_bytes = out.bytes; break;
+        case CollKind::Allgather: out.allgather_bytes = out.bytes; break;
+    }
+    return out;
+}
+
+namespace {
+
+std::vector<int> chop_dim(std::int64_t n, int nb) {
+    std::vector<int> out;
+    while (n > 0) {
+        int const b = n < nb ? static_cast<int>(n) : nb;
+        out.push_back(b);
+        n -= b;
+    }
+    return out;
+}
+
+/// Largest divisor of n that is <= sqrt(n) — the near-square grid rule the
+/// driver and choose_summa_plan share.
+int near_square_p(int n) {
+    int best = 1;
+    for (int d = 1; d * d <= n; ++d)
+        if (n % d == 0)
+            best = d;
+    return best;
+}
+
+}  // namespace
+
+SummaVolume summa_volume(std::int64_t m, std::int64_t n, std::int64_t k,
+                         int nb, std::size_t elem_bytes, int p, int q, int c,
+                         bool deterministic) {
+    comm::ProcGrid3d const g3{p, q, c};
+    auto const rb = chop_dim(m, nb);
+    auto const cb = chop_dim(n, nb);
+    auto const kb = chop_dim(k, nb);
+    int const mt = static_cast<int>(rb.size());
+    int const nt = static_cast<int>(cb.size());
+    int const kt = static_cast<int>(kb.size());
+
+    auto owner_a = [&](int i, int l) { return (i % p) * q + (l % q); };
+    auto owner_b = [&](int l, int j) { return (l % p) * q + (j % q); };
+    auto owner_c = [&](int i, int j) { return (i % p) * q + (j % q); };
+
+    VolumeSim v(g3.size(), elem_bytes);
+    SummaVolume sv;
+    auto add = [&](int from, std::size_t elems, std::uint64_t& role) {
+        v.add(from, elems);
+        role += static_cast<std::uint64_t>(elems) * elem_bytes;
+    };
+
+    // Replays dist_gemm's stage_step (c == 1, every step) and summa_25d's
+    // fiber + re-stage + reduce loops (c > 1): owners send each operand
+    // panel tile to the q - 1 / p - 1 other row/column-group members of the
+    // layer that computes the step, remote layers having first received one
+    // fiber copy per tile from the layer-0 owner.
+    for (int l = 0; l < kt; ++l) {
+        int const lay = g3.layer_of_step(l, kt);
+        auto const ke = static_cast<std::size_t>(kb[static_cast<size_t>(l)]);
+        for (int i = 0; i < mt; ++i) {
+            auto const e = static_cast<std::size_t>(rb[static_cast<size_t>(i)]) * ke;
+            int const own = owner_a(i, l);
+            if (lay != 0)
+                add(own, e, sv.fiber_bytes);
+            for (int r = 0; r < q - 1; ++r)
+                add(g3.global(lay, own), e, sv.stage_bytes);
+        }
+        for (int j = 0; j < nt; ++j) {
+            auto const e = ke * static_cast<std::size_t>(cb[static_cast<size_t>(j)]);
+            int const own = owner_b(l, j);
+            if (lay != 0)
+                add(own, e, sv.fiber_bytes);
+            for (int r = 0; r < p - 1; ++r)
+                add(g3.global(lay, own), e, sv.stage_bytes);
+        }
+        if (lay != 0 && deterministic) {
+            // ExactOrder: one product tile per C tile per remote step.
+            for (int j = 0; j < nt; ++j)
+                for (int i = 0; i < mt; ++i)
+                    add(g3.global(lay, owner_c(i, j)),
+                        static_cast<std::size_t>(rb[static_cast<size_t>(i)])
+                            * static_cast<std::size_t>(
+                                cb[static_cast<size_t>(j)]),
+                        sv.reduce_bytes);
+        }
+    }
+    if (!deterministic) {
+        // PartialSum: one partial per C tile per populated remote layer.
+        for (int lay = 1; lay < g3.c; ++lay) {
+            if (g3.step_lo(lay, kt) >= g3.step_hi(lay, kt))
+                continue;
+            for (int j = 0; j < nt; ++j)
+                for (int i = 0; i < mt; ++i)
+                    add(g3.global(lay, owner_c(i, j)),
+                        static_cast<std::size_t>(rb[static_cast<size_t>(i)])
+                            * static_cast<std::size_t>(
+                                cb[static_cast<size_t>(j)]),
+                        sv.reduce_bytes);
+        }
+    }
+    sv.total = v.result();
+    sv.total.p2p_bytes = sv.stage_bytes;
+    sv.total.bcast_bytes = sv.fiber_bytes;
+    sv.total.reduce_bytes = sv.reduce_bytes;
+    return sv;
+}
+
+SummaPlan choose_summa_plan(int P, std::int64_t m, std::int64_t n,
+                            std::int64_t k, int nb, std::size_t elem_bytes,
+                            bool deterministic, comm::CommPlan forced) {
+    SummaPlan best;
+    bool have = false;
+    for (int c = 1; c <= P; ++c) {
+        if (P % c != 0)
+            continue;
+        int const L = P / c;
+        int const p0 = near_square_p(L);
+        int const q0 = L / p0;
+        // The c == 1 candidate is pinned to the canonical near-square grid —
+        // it is the in-tree 2D oracle path the driver runs and the baseline
+        // vol2d reports. Replicated layer grids additionally try the
+        // transposed orientation: for a non-square gemm the staging burden
+        // (q - 1 per A tile vs p - 1 per B tile) is asymmetric.
+        int const orientations = (c > 1 && p0 != q0) ? 2 : 1;
+        for (int ori = 0; ori < orientations; ++ori) {
+            int const p = ori ? q0 : p0;
+            int const q = ori ? p0 : q0;
+            auto vol = summa_volume(m, n, k, nb, elem_bytes, p, q, c,
+                                    deterministic);
+            if (c == 1)
+                best.vol2d = vol;
+            if (forced == comm::CommPlan::Grid2d && c != 1)
+                continue;
+            if (forced == comm::CommPlan::Grid25d && c == 1 && P > 1)
+                continue;
+            if (!have
+                || vol.total.max_rank_bytes < best.vol.total.max_rank_bytes) {
+                best.p = p;
+                best.q = q;
+                best.c = c;
+                best.vol = vol;
+                have = true;
+            }
+        }
+    }
+    return best;
 }
 
 QrTaskCounts qr_task_counts(int mt1, int nt, bool structured) {

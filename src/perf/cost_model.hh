@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/comm_stats.hh"
+#include "comm/grid3d.hh"
 #include "perf/machine.hh"
 
 namespace tbp::perf {
@@ -45,6 +46,20 @@ struct CollVolume {
     /// ring's chunking wins here (~2n/P per rank vs the linear root's
     /// (P-1) n) even though its message count is higher.
     std::uint64_t max_rank_bytes = 0;
+
+    /// Per-role byte attribution: for collective_volume the field matching
+    /// `kind` equals `bytes` and the rest are zero (an allreduce's internal
+    /// reduce+bcast legs are charged to allreduce_bytes — the caller asked
+    /// for an allreduce); summa_volume splits one gemm's traffic into
+    /// within-layer staging (p2p), fiber replication (the bcast role of the
+    /// third grid dimension) and C reduction. Note the maxes above are
+    /// maxes of per-rank sums, so per-role CollVolumes cannot simply be
+    /// added — attribution lives alongside one simulated whole.
+    std::uint64_t bcast_bytes = 0;
+    std::uint64_t reduce_bytes = 0;
+    std::uint64_t allreduce_bytes = 0;
+    std::uint64_t allgather_bytes = 0;
+    std::uint64_t p2p_bytes = 0;
 };
 
 /// Exact communication volume of a collective as implemented in
@@ -55,6 +70,43 @@ struct CollVolume {
 /// `elem_bytes` the scalar size.
 CollVolume collective_volume(CollKind kind, comm::coll::Algo algo, int nranks,
                              std::size_t count, std::size_t elem_bytes);
+
+/// Exact traffic of one distributed SUMMA gemm (m x k times k x n, tile
+/// size nb) as implemented in comm/: c == 1 replays dist_gemm's per-step
+/// panel staging; c > 1 replays summa_25d's fiber replication, within-layer
+/// staging, and C reduction in the mode the deterministic flag selects
+/// (ExactOrder ships a product tile per remote step; PartialSum one partial
+/// per C tile per layer). Measured per-rank CommStats from a lone gemm in a
+/// p*q*c world match these numbers exactly (tested and smoke-benched).
+struct SummaVolume {
+    CollVolume total;  ///< totals + per-rank bottleneck maxes + attribution
+    std::uint64_t stage_bytes = 0;   ///< within-layer operand staging (p2p)
+    std::uint64_t fiber_bytes = 0;   ///< replication along the c fibers
+    std::uint64_t reduce_bytes = 0;  ///< C contributions back to layer 0
+};
+
+SummaVolume summa_volume(std::int64_t m, std::int64_t n, std::int64_t k,
+                         int nb, std::size_t elem_bytes, int p, int q, int c,
+                         bool deterministic);
+
+/// Grid shape choose_summa_plan settled on, with the modeled traffic of the
+/// pick and of the 2D reference at the same total rank count.
+struct SummaPlan {
+    int p = 1, q = 1, c = 1;
+    SummaVolume vol;    ///< the chosen (p, q, c)
+    SummaVolume vol2d;  ///< the c == 1 near-square candidate at the same P
+};
+
+/// Bottleneck-driven 2D-vs-2.5D selection: enumerate every replication
+/// depth c dividing P with a near-square p x q layer grid (p*q*c == P) and
+/// return the candidate minimizing total.max_rank_bytes for the reduction
+/// mode that will actually run (ties prefer smaller c — the shallower grid
+/// costs less workspace). `forced` restricts the candidate set: Grid2d to
+/// c == 1, Grid25d to c > 1 (for prime P that leaves only the degenerate
+/// c == P single-rank-per-layer shape, still a valid grid).
+SummaPlan choose_summa_plan(int P, std::int64_t m, std::int64_t n,
+                            std::int64_t k, int nb, std::size_t elem_bytes,
+                            bool deterministic, comm::CommPlan forced);
 
 /// Task-count breakdown of one stacked-QR factor + Q generation, by kernel.
 /// `init` counts the zero/identity initialization tasks (set_identity

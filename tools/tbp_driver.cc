@@ -63,6 +63,8 @@ struct Args {
     int ranks = 4;             // --algo dqdwh: virtual ranks
     int gp = 0, gq = 0;        // process grid (0 -> auto near-square)
     std::string comm = "engine";  // engine | legacy | ring
+    comm::CommPlan comm_plan = comm::CommPlan::Auto;  // --comm-plan
+    int repl = 0;              // --repl: explicit 2.5D depth c (0 = derive)
     int jobs = 200;            // --algo serve: batch size
     double rate = 0;           // arrival rate jobs/s (0 -> submit at once)
     bool fifo = false;         // serve: disable the QoS priority split
@@ -83,6 +85,7 @@ struct Args {
                  "          [--threads T] [--seed S] [--r R] [--verbose]\n"
                  "          [--ranks P] [--grid PxQ] [--comm engine|legacy|"
                  "ring]\n"
+                 "          [--comm-plan auto|2d|2.5d] [--repl C]\n"
                  "          [--jobs J] [--rate JOBS_PER_SEC] [--fifo]\n"
                  "          [--target tasks|batched] [--lookahead D] "
                  "[--max-batch B]\n"
@@ -109,7 +112,15 @@ struct Args {
                  "  results must be bit-identical to engine), 'ring' "
                  "(bandwidth-optimal\n"
                  "  allreduce; re-associates, deterministic only at fixed "
-                 "P).\n",
+                 "P).\n"
+                 "  --comm-plan picks the SUMMA variant for dqdwh's trailing "
+                 "gemms:\n"
+                 "  'auto' costs 2D vs replicated-layer 2.5D with the "
+                 "max_rank_bytes\n"
+                 "  bottleneck model and takes the cheaper; '2d'/'2.5d' force "
+                 "one.\n"
+                 "  --repl C forces replication depth C (layer grid spans "
+                 "ranks/C).\n",
                  argv0);
     std::exit(2);
 }
@@ -191,6 +202,20 @@ Args parse(int argc, char** argv) {
                 std::fprintf(stderr, "unknown --comm %s\n", a.comm.c_str());
                 usage(argv[0]);
             }
+        } else if (!std::strcmp(argv[i], "--comm-plan")) {
+            std::string cp = need("--comm-plan");
+            if (cp == "auto") {
+                a.comm_plan = comm::CommPlan::Auto;
+            } else if (cp == "2d") {
+                a.comm_plan = comm::CommPlan::Grid2d;
+            } else if (cp == "2.5d") {
+                a.comm_plan = comm::CommPlan::Grid25d;
+            } else {
+                std::fprintf(stderr, "unknown --comm-plan %s\n", cp.c_str());
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(argv[i], "--repl")) {
+            a.repl = std::atoi(need("--repl"));
         } else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             usage(argv[0]);
@@ -395,7 +420,39 @@ int run_dist(Args const& a) {
         cfg.allgather = comm::coll::Algo::Ring;
         cfg.deterministic = false;
     }
-    Grid g{a.gp, a.gq};
+    // Resolve the SUMMA plan for the trailing updates. --repl C pins the
+    // replication depth; otherwise the chooser costs every c | P for the
+    // reduction mode that will run and takes the max_rank_bytes minimizer.
+    perf::SummaPlan plan;
+    if (a.repl > 1) {
+        if (a.ranks % a.repl != 0) {
+            std::fprintf(stderr, "--repl %d must divide --ranks %d\n", a.repl,
+                         a.ranks);
+            return 2;
+        }
+        int const L = a.ranks / a.repl;
+        plan.c = a.repl;
+        for (int p = 1; p * p <= L; ++p)
+            if (L % p == 0)
+                plan.p = p;
+        plan.q = L / plan.p;
+        plan.vol = perf::summa_volume(a.m, a.n, a.n, a.nb, sizeof(T), plan.p,
+                                      plan.q, plan.c, cfg.deterministic);
+        auto ref2d = perf::choose_summa_plan(a.ranks, a.m, a.n, a.n, a.nb,
+                                             sizeof(T), cfg.deterministic,
+                                             comm::CommPlan::Grid2d);
+        plan.vol2d = ref2d.vol;
+    } else {
+        plan = perf::choose_summa_plan(a.ranks, a.m, a.n, a.n, a.nb,
+                                       sizeof(T), cfg.deterministic,
+                                       a.comm_plan);
+    }
+    // c == 1 keeps the legacy behavior exactly (including an explicit
+    // --grid); c > 1 uses the plan's near-square layer grid.
+    comm::ProcGrid3d g3 = plan.c == 1
+                              ? comm::ProcGrid3d{a.gp, a.gq, 1}
+                              : comm::ProcGrid3d{plan.p, plan.q, plan.c};
+    Grid const g = g3.layer();
     comm::World world(a.ranks);
     world.set_coll_config(cfg);
 
@@ -405,7 +462,7 @@ int run_dist(Args const& a) {
     world.run([&](comm::Communicator& c) {
         comm::DistMatrix<T> A(c, a.m, a.n, a.nb, g);
         A.fill([&](std::int64_t i, std::int64_t j) { return Ad(i, j); });
-        auto inf = comm::dist_qdwh(c, g, A, 1.0 / a.cond);
+        auto inf = comm::dist_qdwh(c, g3, A, 1.0 / a.cond);
         auto dense = comm::dist_gather(c, A);
         if (c.rank() == 0) {
             info = inf;
@@ -427,10 +484,22 @@ int run_dist(Args const& a) {
     double const bwd = ref::diff_fro(UH, Ad) / ref::norm_fro(Ad);
 
     std::printf("algo=dqdwh type=%c m=%lld n=%lld nb=%d cond=%.1e ranks=%d "
-                "grid=%dx%d comm=%s\n",
+                "grid=%dx%dx%d comm=%s plan=%s\n",
                 a.type, static_cast<long long>(a.m),
-                static_cast<long long>(a.n), a.nb, a.cond, a.ranks, a.gp,
-                a.gq, a.comm.c_str());
+                static_cast<long long>(a.n), a.nb, a.cond, a.ranks, g3.p,
+                g3.q, g3.c, a.comm.c_str(),
+                comm::comm_plan_name(a.comm_plan));
+    std::printf("  summa model: chosen %dx%dx%d max_rank_bytes %llu "
+                "(2d %llu)  stage %llu  fiber %llu  reduce %llu\n",
+                g3.p, g3.q, g3.c,
+                static_cast<unsigned long long>(
+                    g3.c == 1 ? plan.vol2d.total.max_rank_bytes
+                              : plan.vol.total.max_rank_bytes),
+                static_cast<unsigned long long>(
+                    plan.vol2d.total.max_rank_bytes),
+                static_cast<unsigned long long>(plan.vol.stage_bytes),
+                static_cast<unsigned long long>(plan.vol.fiber_bytes),
+                static_cast<unsigned long long>(plan.vol.reduce_bytes));
     std::printf("  iterations %d   ||A||_2 est %.3e   time %.3fs\n",
                 info.iterations, info.norm2_estimate, secs);
     std::printf("  ||I-U'U||/sqrt(n) = %.3e   ||A-UH||/||A|| = %.3e\n", orth,
