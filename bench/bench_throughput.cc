@@ -164,6 +164,8 @@ struct RunOut {
     std::uint64_t mismatches = 0;       ///< oracle byte or status mismatches
     std::uint64_t expected_failures = 0;
     std::size_t workspaces = 0;
+    std::uint64_t retried_jobs = 0;    ///< jobs that needed > 1 attempt
+    std::uint64_t recovered_jobs = 0;  ///< retried jobs that ended Ok
 };
 
 // One full service run: Poisson arrivals at `rate` jobs/sec, every 16th
@@ -237,7 +239,10 @@ RunOut run_batch(std::vector<SpecCase> const& cases,
                    percentile(lat_l, 0.50), percentile(lat_l, 0.99)};
     out.bulk = {static_cast<std::uint64_t>(lat_b.size()),
                 percentile(lat_b, 0.50), percentile(lat_b, 0.99)};
-    out.workspaces = service.stats().workspaces_created;
+    auto const st = service.stats();
+    out.workspaces = st.workspaces_created;
+    out.retried_jobs = st.retried_jobs;
+    out.recovered_jobs = st.recovered_jobs;
     return out;
 }
 
@@ -260,6 +265,8 @@ void report(char const* name, RunOut const& r, bench::JsonEmitter& out) {
         .field("bulk_p99_s", r.bulk.p99);
     rec.field("oracle_mismatches", r.mismatches)
         .field("expected_failures", r.expected_failures)
+        .field("retried_jobs", r.retried_jobs)
+        .field("recovered_jobs", r.recovered_jobs)
         .field("workspaces_created",
                static_cast<std::uint64_t>(r.workspaces));
     out.add(rec);

@@ -55,13 +55,21 @@ void Communicator::bcast(T* data, std::size_t count, int root) {
     count_collective();
     if (size() == 1)
         return;
-    switch (coll::resolve_bcast(cfg_, count * sizeof(T))) {
-        case coll::Algo::Linear:
-            bcast_linear(data, count, root);
-            break;
-        default:
-            bcast_tree(data, count, root);
-            break;
+    // On a transport failure the collective's name is stamped onto the
+    // dimensioned error; recovery itself lives at the p2p layer (resend /
+    // dedup by sequence number), so by the time an error escapes here the
+    // retry budget is already spent.
+    try {
+        switch (coll::resolve_bcast(cfg_, count * sizeof(T))) {
+            case coll::Algo::Linear:
+                bcast_linear(data, count, root);
+                break;
+            default:
+                bcast_tree(data, count, root);
+                break;
+        }
+    } catch (CommError const& e) {
+        throw annotate(e, "bcast");
     }
 }
 
@@ -112,13 +120,17 @@ void Communicator::reduce(T* data, std::size_t count, OpF const& op,
     count_collective();
     if (size() == 1)
         return;
-    switch (coll::resolve_reduce(cfg_, count * sizeof(T))) {
-        case coll::Algo::Linear:
-            reduce_linear(data, count, op, root);
-            break;
-        default:
-            reduce_tree(data, count, op, root);
-            break;
+    try {
+        switch (coll::resolve_reduce(cfg_, count * sizeof(T))) {
+            case coll::Algo::Linear:
+                reduce_linear(data, count, op, root);
+                break;
+            default:
+                reduce_tree(data, count, op, root);
+                break;
+        }
+    } catch (CommError const& e) {
+        throw annotate(e, "reduce");
     }
 }
 
@@ -207,22 +219,27 @@ void Communicator::allreduce(T* data, std::size_t count, OpF const& op) {
     count_collective();
     if (size() == 1)
         return;
-    switch (coll::resolve_allreduce(cfg_, count * sizeof(T))) {
-        case coll::Algo::Linear:
-            // Legacy oracle: gather-and-fold at rank 0, linear re-broadcast.
-            reduce_linear(data, count, op, 0);
-            bcast_linear(data, count, 0);
-            break;
-        case coll::Algo::RecDouble:
-            allreduce_recdouble(data, count, op);
-            break;
-        case coll::Algo::Ring:
-            allreduce_ring(data, count, op);
-            break;
-        default:
-            reduce_tree(data, count, op, 0);
-            bcast_tree(data, count, 0);
-            break;
+    try {
+        switch (coll::resolve_allreduce(cfg_, count * sizeof(T))) {
+            case coll::Algo::Linear:
+                // Legacy oracle: gather-and-fold at rank 0, linear
+                // re-broadcast.
+                reduce_linear(data, count, op, 0);
+                bcast_linear(data, count, 0);
+                break;
+            case coll::Algo::RecDouble:
+                allreduce_recdouble(data, count, op);
+                break;
+            case coll::Algo::Ring:
+                allreduce_ring(data, count, op);
+                break;
+            default:
+                reduce_tree(data, count, op, 0);
+                bcast_tree(data, count, 0);
+                break;
+        }
+    } catch (CommError const& e) {
+        throw annotate(e, "allreduce");
     }
 }
 
@@ -342,16 +359,20 @@ void Communicator::allgather(T const* sendbuf, std::size_t count,
                   recvbuf + static_cast<std::size_t>(rank_) * count);
     if (size() == 1)
         return;
-    switch (coll::resolve_allgather(cfg_, count * sizeof(T))) {
-        case coll::Algo::Linear:
-            allgather_linear(sendbuf, count, recvbuf);
-            break;
-        case coll::Algo::Ring:
-            allgather_ring(sendbuf, count, recvbuf);
-            break;
-        default:
-            allgather_tree(sendbuf, count, recvbuf);
-            break;
+    try {
+        switch (coll::resolve_allgather(cfg_, count * sizeof(T))) {
+            case coll::Algo::Linear:
+                allgather_linear(sendbuf, count, recvbuf);
+                break;
+            case coll::Algo::Ring:
+                allgather_ring(sendbuf, count, recvbuf);
+                break;
+            default:
+                allgather_tree(sendbuf, count, recvbuf);
+                break;
+        }
+    } catch (CommError const& e) {
+        throw annotate(e, "allgather");
     }
 }
 
@@ -438,6 +459,7 @@ template <typename T>
 std::vector<T> Communicator::allgatherv(std::vector<T> const& mine,
                                         std::vector<std::size_t>* counts) {
     count_collective();
+    try {
     int const P = size();
     int const me = rank_;
 
@@ -505,6 +527,9 @@ std::vector<T> Communicator::allgatherv(std::vector<T> const& mine,
     if (counts)
         *counts = std::move(cnt);
     return out;
+    } catch (CommError const& e) {
+        throw annotate(e, "allgatherv");
+    }
 }
 
 }  // namespace tbp::comm

@@ -1,0 +1,111 @@
+// Dimensioned communication errors.
+//
+// Fault-path diagnostics are only actionable if they say *which* transfer
+// went wrong: the peer rank, the tag, and the expected vs. actual byte
+// counts. CommError carries those fields structurally (tests and recovery
+// code can branch on them) and renders them into the what() string, so a
+// bare "size mismatch" can never reach a log without its coordinates.
+// Derives from tbp::Error so existing catch sites and EXPECT_THROW
+// assertions keep working unchanged.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hh"
+
+namespace tbp::comm {
+
+class CommError : public Error {
+public:
+    /// What failed, mechanically. Recovery policy keys off this: a
+    /// SizeMismatch is a program error (no retry), a Timeout is retried at
+    /// the service layer, a RankDead job can fail over to a local provider.
+    enum class Kind {
+        SizeMismatch,   ///< delivered payload != posted receive count
+        ChecksumError,  ///< payload corrupted and no clean copy recoverable
+        Timeout,        ///< blocked past the retry budget with no progress
+        RankDead,       ///< peer fail-stopped; the message can never arrive
+        BarrierTimeout, ///< barrier never filled within the deadline
+    };
+
+    CommError(Kind kind, std::string const& op, int self, int peer, int tag,
+              std::size_t expected, std::size_t actual)
+        : Error(format(kind, op, self, peer, tag, expected, actual)),
+          kind_(kind),
+          self_(self),
+          peer_(peer),
+          tag_(tag),
+          expected_(expected),
+          actual_(actual) {}
+
+    Kind kind() const { return kind_; }
+    int self() const { return self_; }
+    int peer() const { return peer_; }
+    int tag() const { return tag_; }
+    std::size_t expected_bytes() const { return expected_; }
+    std::size_t actual_bytes() const { return actual_; }
+
+    static char const* kind_name(Kind k) {
+        switch (k) {
+            case Kind::SizeMismatch: return "size mismatch";
+            case Kind::ChecksumError: return "checksum error";
+            case Kind::Timeout: return "timeout";
+            case Kind::RankDead: return "rank dead";
+            case Kind::BarrierTimeout: return "barrier timeout";
+        }
+        return "?";
+    }
+
+private:
+    static std::string format(Kind kind, std::string const& op, int self,
+                              int peer, int tag, std::size_t expected,
+                              std::size_t actual) {
+        std::string s = "comm::" + op + ": " + kind_name(kind) + " (rank "
+                        + std::to_string(self) + " <- rank "
+                        + std::to_string(peer) + ", tag "
+                        + std::to_string(tag);
+        if (expected != actual || expected != 0)
+            s += ", expected " + std::to_string(expected) + " bytes, got "
+                 + std::to_string(actual);
+        s += ")";
+        return s;
+    }
+
+    Kind kind_;
+    int self_;
+    int peer_;
+    int tag_;
+    std::size_t expected_;
+    std::size_t actual_;
+};
+
+/// Re-throw helper for the collective entry points: keeps the structural
+/// fields of a transport-level failure but stamps the collective's name on
+/// the message, so "allreduce: timeout (rank 3 <- rank 1, ...)" reaches the
+/// caller instead of an anonymous "recv".
+inline CommError annotate(CommError const& e, std::string const& op) {
+    return CommError(e.kind(), op, e.self(), e.peer(), e.tag(),
+                     e.expected_bytes(), e.actual_bytes());
+}
+
+/// Thrown on the poisoned rank itself when its fail-stop point is reached.
+/// Distinct from CommError: this is the simulated node *dying*, not a
+/// transfer failing — World::run reports it as the rank's exit cause.
+class RankFailedError : public Error {
+public:
+    explicit RankFailedError(int rank, std::uint64_t after_sends)
+        : Error("rank " + std::to_string(rank)
+                + " fail-stopped (poisoned after "
+                + std::to_string(after_sends) + " sends)"),
+          rank_(rank) {}
+
+    int rank() const { return rank_; }
+
+private:
+    int rank_;
+};
+
+}  // namespace tbp::comm

@@ -9,10 +9,18 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "fault/fault_stats.hh"
+
 namespace tbp::comm {
 
 /// Message/byte/wait counters accumulated by one rank's Communicator.
 /// World aggregates them across ranks after run().
+///
+/// Invariant kept in fault mode: sends/recvs/bytes count *logical* payload
+/// traffic only — never wire envelopes, injected duplicates, or re-driven
+/// copies — so perf::collective_volume stays model-exact whether or not a
+/// fault plan is installed. The fault field records everything the
+/// injector/recovery machinery did on top.
 struct CommStats {
     std::uint64_t sends = 0;       ///< point-to-point messages pushed
     std::uint64_t recvs = 0;       ///< point-to-point messages popped
@@ -20,6 +28,7 @@ struct CommStats {
     std::uint64_t bytes_recv = 0;  ///< payload bytes popped
     std::uint64_t collectives = 0; ///< collective operations entered
     double wait_seconds = 0;       ///< time blocked in recv/wait/barrier
+    fault::FaultStats fault;       ///< injection/recovery counters
 
     CommStats& operator+=(CommStats const& o) {
         sends += o.sends;
@@ -28,6 +37,7 @@ struct CommStats {
         bytes_recv += o.bytes_recv;
         collectives += o.collectives;
         wait_seconds += o.wait_seconds;
+        fault += o.fault;
         return *this;
     }
 };

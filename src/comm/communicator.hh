@@ -27,6 +27,18 @@
 // contributions in ascending-rank order for every algorithm except Ring,
 // so oracle and engine agree bit-for-bit by default.
 
+// Fault plane: World::set_fault installs a seeded fault::FaultInjector
+// (src/fault/). With a plan installed every p2p payload travels in a
+// {magic, seq, checksum} wire envelope; receivers deliver strictly in
+// per-channel sequence order, absorb duplicates, recover corrupted payloads
+// from the sender's retained clean copy, and re-drive dropped messages
+// after a timeout with bounded exponential backoff (RetryConfig). Blocked
+// receives and barriers fail with a dimensioned CommError instead of
+// hanging once the retry budget is exhausted, and a poisoned rank
+// fail-stops by throwing RankFailedError from its own send. Without a plan
+// none of this machinery is touched — the wire format and the wait paths
+// are byte-for-byte the pre-fault engine.
+
 #pragma once
 
 #include <condition_variable>
@@ -34,15 +46,18 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "comm/comm_error.hh"
 #include "comm/comm_stats.hh"
 #include "common/error.hh"
 #include "common/timer.hh"
+#include "fault/injector.hh"
 
 namespace tbp::comm {
 
@@ -52,8 +67,15 @@ namespace detail {
 
 /// Shared mailbox state for one World.
 struct Shared {
+    /// One in-flight message. `release` is the fault plane's delivery
+    /// embargo (wall_time() before which progress must not match it); 0 —
+    /// the only value the fault-free path ever writes — means deliverable.
+    struct Msg {
+        std::vector<std::byte> bytes;
+        double release = 0;
+    };
     struct Channel {
-        std::deque<std::vector<std::byte>> messages;
+        std::deque<Msg> messages;
     };
 
     std::mutex mtx;
@@ -69,6 +91,10 @@ struct Shared {
 
     coll::Config coll_cfg;              // default config for new Communicators
     std::vector<CommStats> rank_stats;  // flushed by World::run per rank
+
+    // Installed by World::set_fault (null: fault-free fast path). Stable
+    // for the duration of a run; all mutating access holds mtx.
+    std::shared_ptr<fault::FaultInjector> fault;
 };
 
 /// One posted (pending) receive. Matched against arrived messages by the
@@ -80,6 +106,10 @@ struct RecvOp {
     std::size_t bytes = 0;                  // expected payload (fixed mode)
     std::vector<std::byte>* dyn = nullptr;  // dynamic mode: takes the payload
     bool done = false;
+    // Set instead of `data` when the operation failed (size mismatch,
+    // timeout, dead sender): done is still true so waiters unblock, and
+    // wait/test rethrow the dimensioned CommError to the caller.
+    std::exception_ptr error;
 };
 
 }  // namespace detail
@@ -91,11 +121,19 @@ class Request {
 public:
     Request() = default;
 
-    /// Nonblocking completion attempt; runs the progress loop.
+    /// Nonblocking completion attempt; runs the progress loop. Rethrows
+    /// the operation's CommError if it completed in error.
     bool test();
 
     /// Block until complete; wait time is charged to the rank's counters.
+    /// In fault mode the wait is timed and may re-drive dropped messages;
+    /// rethrows the operation's dimensioned CommError on failure.
     void wait();
+
+    /// Complete without throwing: any transfer error is absorbed into the
+    /// rank's fault.recovery_errors counter. The drain-guard primitive for
+    /// destructors and unwind paths (PendingStage, staged-panel teardown).
+    void drain() noexcept;
 
     bool done() const;
 
@@ -313,10 +351,16 @@ private:
         tbp_require(0 <= src && src < size());
         std::vector<std::byte> raw;
         recv_bytes_dyn(raw, src, tag);
-        tbp_require(raw.size() % sizeof(T) == 0);
+        if (raw.size() % sizeof(T) != 0)
+            throw CommError(CommError::Kind::SizeMismatch, "recv(vector)",
+                            rank_, src, tag,
+                            (raw.size() / sizeof(T) + 1) * sizeof(T),
+                            raw.size());
         std::size_t const count = raw.size() / sizeof(T);
-        if (!v.empty())
-            tbp_require(v.size() == count);  // pre-sized must match
+        if (!v.empty() && v.size() != count)  // pre-sized must match
+            throw CommError(CommError::Kind::SizeMismatch, "recv(vector)",
+                            rank_, src, tag, v.size() * sizeof(T),
+                            raw.size());
         v.resize(count);
         if (!raw.empty())
             std::memcpy(v.data(), raw.data(), raw.size());
@@ -340,9 +384,36 @@ private:
     void recv_bytes_dyn(std::vector<std::byte>& out, int src, int tag);
     void post_recv(std::shared_ptr<detail::RecvOp> op);
 
+    /// Block until the already-posted op completes; charges wait time,
+    /// notifies other waiters, and rethrows the op's error. In fault mode
+    /// the wait is sliced with exponential backoff and attempts recovery
+    /// (re-driving retained copies) on each timeout.
+    void wait_posted(std::shared_ptr<detail::RecvOp> const& op);
+
+    /// Fault-mode body of wait_posted; caller holds lk on s_->mtx.
+    void wait_posted_fault(std::unique_lock<std::mutex>& lk,
+                           std::shared_ptr<detail::RecvOp> const& op);
+
+    /// Complete op in error and unlink it from pending_ (caller holds
+    /// s_->mtx).
+    void fail_op_locked(detail::RecvOp& op, CommError::Kind kind,
+                        std::size_t actual);
+
+    /// Copy a verified payload into op's destination, or record a
+    /// dimensioned SizeMismatch error; completes the op either way.
+    /// Caller holds s_->mtx.
+    void deliver_locked(detail::RecvOp& op, std::byte const* p,
+                        std::size_t n);
+
     /// Match pending receives (post order) against arrived messages.
     /// Caller holds s_->mtx. Returns true if any receive completed.
     bool progress_locked();
+
+    /// Fault-mode matcher for one pending op: in-sequence delivery with
+    /// duplicate absorption, embargo honoring, and checksum recovery.
+    /// Returns true if op completed (possibly in error). Caller holds
+    /// s_->mtx.
+    bool match_fault_locked(detail::RecvOp& op);
 
     // Collective algorithm bodies (defined in collectives.hh).
     template <typename T>
@@ -392,6 +463,16 @@ public:
     void set_coll_config(coll::Config cfg) { shared_->coll_cfg = cfg; }
     coll::Config const& coll_config() const { return shared_->coll_cfg; }
 
+    /// Install a seeded chaos plan + retry policy for subsequent run()s.
+    /// Installing an inert (all-rates-zero) plan still routes every p2p
+    /// message through the reliable enveloped transport — bench_resilience
+    /// uses that to price the machinery against the bare fast path.
+    void set_fault(fault::FaultPlan plan, fault::RetryConfig retry = {}) {
+        shared_->fault = std::make_shared<fault::FaultInjector>(plan, retry);
+    }
+    void clear_fault() { shared_->fault.reset(); }
+    fault::FaultInjector const* fault() const { return shared_->fault.get(); }
+
     /// Run fn(comm) on every rank; returns when all ranks finish.
     /// Rethrows the first exception raised on any rank.
     void run(std::function<void(Communicator&)> const& fn);
@@ -410,11 +491,20 @@ public:
 
     /// Messages left unreceived at the end of the last run() (0 for a
     /// correctly matched program; nonzero flags a send/recv mismatch).
+    /// Fault mode: duplicate/re-driven residue whose sequence number was
+    /// already delivered is *not* a leak (see teardown_absorbed()).
     std::uint64_t leaked_messages() const { return leaked_; }
+
+    /// Enveloped leftovers classified as harmless at the end of the last
+    /// run(): copies of messages the receiver had already delivered
+    /// (injected duplicates and re-driven embargoed copies that lost the
+    /// race against recovery).
+    std::uint64_t teardown_absorbed() const { return teardown_absorbed_; }
 
 private:
     int nranks_;
     std::uint64_t leaked_ = 0;
+    std::uint64_t teardown_absorbed_ = 0;
     std::shared_ptr<detail::Shared> shared_;
 };
 
@@ -423,35 +513,50 @@ private:
 inline bool Request::test() {
     if (!op_)
         return true;
-    if (op_->done)
-        return true;
-    bool completed;
-    {
-        std::lock_guard<std::mutex> lk(comm_->s_->mtx);
-        completed = comm_->progress_locked();
-        if (!op_->done && !completed)
-            return false;
+    if (!op_->done) {
+        bool completed;
+        {
+            std::lock_guard<std::mutex> lk(comm_->s_->mtx);
+            completed = comm_->progress_locked();
+            if (!op_->done && !completed)
+                return false;
+        }
+        if (completed)
+            comm_->s_->cv.notify_all();  // other waiters may have finished
     }
-    if (completed)
-        comm_->s_->cv.notify_all();  // other waiters may have completed too
+    if (op_->done && op_->error)
+        std::rethrow_exception(op_->error);
     return op_->done;
 }
 
 inline bool Request::done() const { return !op_ || op_->done; }
 
 inline void Request::wait() {
-    if (!op_ || op_->done)
+    if (!op_)
         return;
-    Timer t;
-    {
-        std::unique_lock<std::mutex> lk(comm_->s_->mtx);
-        comm_->s_->cv.wait(lk, [&] {
-            comm_->progress_locked();
-            return op_->done;
-        });
-        comm_->stats_.wait_seconds += t.elapsed();
+    if (op_->done) {
+        if (op_->error)
+            std::rethrow_exception(op_->error);
+        return;
     }
-    comm_->s_->cv.notify_all();  // progress may have completed other ops
+    comm_->wait_posted(op_);
+}
+
+inline void Request::drain() noexcept {
+    if (!op_ || (op_->done && !op_->error))
+        return;
+    try {
+        wait();
+    } catch (...) {
+        // Absorbed by design: the guard's job is to keep teardown safe
+        // (the irecv buffer must not be freed under the transport) while
+        // still leaving a trace for perf::fault_report. Clearing the op's
+        // error makes drain idempotent (move-assign drains, then the
+        // destructor drains again).
+        std::lock_guard<std::mutex> lk(comm_->s_->mtx);
+        ++comm_->stats_.fault.recovery_errors;
+        op_->error = nullptr;
+    }
 }
 
 }  // namespace tbp::comm

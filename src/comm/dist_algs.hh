@@ -141,10 +141,12 @@ struct PendingStage {
 
     // Move assignment must drain the target's own irecv before its buffer
     // is freed by the vector move — a defaulted member-wise move would
-    // leave the transport writing into freed memory.
+    // leave the transport writing into freed memory. drain() (not wait())
+    // so a transfer error on an overwritten stage is absorbed into the
+    // recovery counters instead of throwing out of an assignment.
     PendingStage& operator=(PendingStage&& o) {
         if (this != &o) {
-            req.wait();
+            req.drain();
             s = std::move(o.s);
             req = std::move(o.req);
             needed = o.needed;
@@ -156,9 +158,15 @@ struct PendingStage {
     // buffer dies — even on ranks that staged a tile they end up not
     // computing with (group membership is per block row/column, not per
     // local tile). The matching send is unconditional, so this wait
-    // always terminates.
-    ~PendingStage() { req.wait(); }
+    // terminates: immediately in the fault-free engine, and within the
+    // retry deadline in fault mode, where drain() absorbs a failed
+    // transfer (noexcept — destructors must not throw during unwind).
+    ~PendingStage() { req.drain(); }
 
+    // The consuming path: propagates a dimensioned CommError if the staged
+    // transfer ultimately failed, so compute never runs on garbage — this
+    // is the "detect, report, re-drive" half of the guard (re-driving
+    // happened inside wait()'s timed recovery loop).
     Staged<T>& ready() {
         req.wait();
         return s;

@@ -1,0 +1,224 @@
+// Seeded, deterministic fault plans for the chaos/recovery subsystem.
+//
+// A FaultPlan is a pure value: given the identity of a message — the
+// (src, dst, tag) channel plus the per-channel sequence number the reliable
+// transport assigns — it decides, by counter-based hashing of the seed,
+// whether that message is dropped, delayed, duplicated, or corrupted, and
+// whether a rank is slowed or poisoned (fail-stop). Because the decision
+// depends only on (seed, src, dst, tag, seq) and every channel's traffic is
+// produced by one sender in program order, an entire chaos run is replayable
+// from the single seed: the same messages get the same faults, the injected
+// counters match exactly, and (in the collectives' deterministic mode) the
+// recovered results are bit-identical to the fault-free oracle.
+//
+// This header is standalone (no communicator dependency) so the service
+// layer can embed a plan in a JobSpec and the perf layer can describe one in
+// a report without pulling in the transport.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tbp::fault {
+
+/// The fault classes the injector knows how to apply.
+enum class FaultKind {
+    None,        ///< injection disabled (the plan is inert)
+    Drop,        ///< message never enters the destination channel
+    Delay,       ///< message is embargoed for delay_ms before delivery
+    Duplicate,   ///< message is delivered twice (receiver absorbs the copy)
+    Corrupt,     ///< one payload byte is flipped (checksum catches it)
+    Slowdown,    ///< a straggler rank sleeps before every send
+    PoisonRank,  ///< a rank fail-stops at its poison_after_sends-th send
+    Mix,         ///< drop + delay + duplicate + corrupt together
+};
+
+inline char const* fault_kind_name(FaultKind k) {
+    switch (k) {
+        case FaultKind::None: return "none";
+        case FaultKind::Drop: return "drop";
+        case FaultKind::Delay: return "delay";
+        case FaultKind::Duplicate: return "dup";
+        case FaultKind::Corrupt: return "corrupt";
+        case FaultKind::Slowdown: return "slow";
+        case FaultKind::PoisonRank: return "poison";
+        case FaultKind::Mix: return "mix";
+    }
+    return "?";
+}
+
+/// Per-message verdict of a plan (at most one payload fault per message;
+/// drop wins over corrupt wins over duplicate wins over delay).
+struct FaultAction {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    double delay_ms = 0;  ///< > 0: embargo the message this long
+};
+
+namespace detail {
+
+/// splitmix64 — the counter-RNG finalizer; full-avalanche, so adjacent
+/// (seed, key) pairs give independent uniforms.
+inline std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) from a hashed key, decorrelated per fault stream.
+inline double uniform(std::uint64_t seed, std::uint64_t stream,
+                      std::uint64_t key) {
+    std::uint64_t const h = mix64(mix64(seed ^ stream) ^ key);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Fold a message identity into one hash key. Tags may be negative
+/// (internal collective namespace), so widen through int64 first.
+inline std::uint64_t msg_key(int src, int dst, int tag, std::uint64_t seq) {
+    std::uint64_t k = static_cast<std::uint64_t>(static_cast<std::int64_t>(src));
+    k = mix64(k ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+    k = mix64(k ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+    return mix64(k ^ seq);
+}
+
+}  // namespace detail
+
+/// A complete, replayable chaos configuration. Default-constructed plans are
+/// inert (enabled() == false) so embedding one in a JobSpec costs nothing.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+
+    // Per-message fault rates in [0, 1], evaluated per message from the
+    // seed (independent streams, applied in drop > corrupt > dup > delay
+    // priority so each message carries at most one payload fault).
+    double drop_rate = 0;
+    double corrupt_rate = 0;
+    double dup_rate = 0;
+    double delay_rate = 0;
+    double delay_ms = 2.0;  ///< embargo length of a delayed message
+
+    // Straggler: rank slow_rank sleeps slow_us microseconds before each send.
+    int slow_rank = -1;
+    double slow_us = 0;
+
+    // Fail-stop: rank poison_rank throws RankFailedError when it is about to
+    // perform its (poison_after_sends + 1)-th send. -1 disables.
+    int poison_rank = -1;
+    std::uint64_t poison_after_sends = 0;
+
+    bool enabled() const {
+        return drop_rate > 0 || corrupt_rate > 0 || dup_rate > 0
+               || delay_rate > 0 || (slow_rank >= 0 && slow_us > 0)
+               || poison_rank >= 0;
+    }
+
+    /// Deterministic verdict for one message. Pure: same plan + identity
+    /// always yields the same action.
+    FaultAction action(int src, int dst, int tag, std::uint64_t seq) const {
+        FaultAction a;
+        std::uint64_t const key = detail::msg_key(src, dst, tag, seq);
+        if (drop_rate > 0 && detail::uniform(seed, 0x11, key) < drop_rate) {
+            a.drop = true;
+            return a;
+        }
+        if (corrupt_rate > 0
+            && detail::uniform(seed, 0x22, key) < corrupt_rate) {
+            a.corrupt = true;
+            return a;
+        }
+        if (dup_rate > 0 && detail::uniform(seed, 0x33, key) < dup_rate) {
+            a.duplicate = true;
+            return a;
+        }
+        if (delay_rate > 0 && detail::uniform(seed, 0x44, key) < delay_rate)
+            a.delay_ms = delay_ms;
+        return a;
+    }
+
+    /// Deterministic position of the flipped byte in a corrupted payload.
+    std::size_t corrupt_offset(std::uint64_t seq, std::size_t bytes) const {
+        return bytes == 0
+                   ? 0
+                   : static_cast<std::size_t>(detail::mix64(seed ^ seq)
+                                              % bytes);
+    }
+
+    /// Named single-fault plan at the given rate — the driver's
+    /// --fault-plan presets. PoisonRank poisons rank 1 (or 0 in a 1-rank
+    /// world) after 20 sends; Slowdown slows rank 1 by 200us per send.
+    static FaultPlan preset(FaultKind kind, std::uint64_t seed,
+                            double rate = 0.05) {
+        FaultPlan p;
+        p.seed = seed;
+        switch (kind) {
+            case FaultKind::None: break;
+            case FaultKind::Drop: p.drop_rate = rate; break;
+            case FaultKind::Delay: p.delay_rate = rate; break;
+            case FaultKind::Duplicate: p.dup_rate = rate; break;
+            case FaultKind::Corrupt: p.corrupt_rate = rate; break;
+            case FaultKind::Slowdown:
+                p.slow_rank = 1;
+                p.slow_us = 200;
+                break;
+            case FaultKind::PoisonRank:
+                p.poison_rank = 1;
+                p.poison_after_sends = 20;
+                break;
+            case FaultKind::Mix:
+                p.drop_rate = rate / 2;
+                p.corrupt_rate = rate / 2;
+                p.dup_rate = rate / 2;
+                p.delay_rate = rate / 2;
+                break;
+        }
+        return p;
+    }
+
+    std::string describe() const {
+        if (!enabled())
+            return "fault plane off";
+        std::string s = "seed=" + std::to_string(seed);
+        auto pct = [](double r) {
+            return std::to_string(r * 100).substr(0, 4) + "%";
+        };
+        if (drop_rate > 0) s += " drop=" + pct(drop_rate);
+        if (corrupt_rate > 0) s += " corrupt=" + pct(corrupt_rate);
+        if (dup_rate > 0) s += " dup=" + pct(dup_rate);
+        if (delay_rate > 0)
+            s += " delay=" + pct(delay_rate) + "@"
+                 + std::to_string(delay_ms).substr(0, 4) + "ms";
+        if (slow_rank >= 0 && slow_us > 0)
+            s += " slow=rank" + std::to_string(slow_rank);
+        if (poison_rank >= 0)
+            s += " poison=rank" + std::to_string(poison_rank) + "@"
+                 + std::to_string(poison_after_sends);
+        return s;
+    }
+};
+
+/// Recovery knobs of the reliable transport (active only when a plan is
+/// installed; the fault-free fast path never reads them).
+struct RetryConfig {
+    double timeout_ms = 50;  ///< first resend check after this long blocked
+    int retry_max = 8;       ///< consecutive no-progress rounds before error
+    double backoff = 2.0;    ///< wait-slice multiplier per round (bounded)
+    /// Hard per-wait budget; 0 derives timeout_ms * 2^retry_max (the sum of
+    /// the backoff series), after which a blocked receive reports a
+    /// dimensioned CommError instead of hanging.
+    double deadline_ms = 0;
+
+    double deadline_seconds() const {
+        if (deadline_ms > 0)
+            return deadline_ms / 1e3;
+        double d = timeout_ms;
+        for (int i = 0; i < retry_max; ++i)
+            d *= backoff;
+        return d / 1e3;
+    }
+};
+
+}  // namespace tbp::fault

@@ -1,0 +1,50 @@
+// Injection/recovery counters, separated from the injector machinery so
+// comm::CommStats can embed them without pulling in the transport state
+// (the same layering rule comm_stats.hh follows for the mailbox).
+
+#pragma once
+
+#include <cstdint>
+
+namespace tbp::fault {
+
+/// Per-rank fault counters, aggregated across ranks by perf::fault_report.
+/// "Injected" counters record what the plan did to this rank's sends; the
+/// rest record what this rank's receive-side recovery observed. Counter
+/// identities the chaos tests assert: with a drop-only plan every dropped
+/// message is re-driven exactly once (resends == injected_drops); with a
+/// corrupt-only plan every corruption is detected and recovered in place
+/// (checksum_failures == injected_corrupts == resends); duplicates are
+/// absorbed either in-run (dup_absorbed) or at world teardown.
+struct FaultStats {
+    std::uint64_t injected_drops = 0;
+    std::uint64_t injected_delays = 0;
+    std::uint64_t injected_dups = 0;
+    std::uint64_t injected_corrupts = 0;
+    std::uint64_t slowdowns = 0;          ///< sends delayed by the straggler
+    std::uint64_t resends = 0;            ///< retained copies re-driven
+    std::uint64_t checksum_failures = 0;  ///< corrupted payloads detected
+    std::uint64_t dup_absorbed = 0;       ///< duplicate deliveries discarded
+    std::uint64_t recovery_errors = 0;    ///< errors absorbed by drain guards
+
+    bool any() const {
+        return injected_drops || injected_delays || injected_dups
+               || injected_corrupts || slowdowns || resends
+               || checksum_failures || dup_absorbed || recovery_errors;
+    }
+
+    FaultStats& operator+=(FaultStats const& o) {
+        injected_drops += o.injected_drops;
+        injected_delays += o.injected_delays;
+        injected_dups += o.injected_dups;
+        injected_corrupts += o.injected_corrupts;
+        slowdowns += o.slowdowns;
+        resends += o.resends;
+        checksum_failures += o.checksum_failures;
+        dup_absorbed += o.dup_absorbed;
+        recovery_errors += o.recovery_errors;
+        return *this;
+    }
+};
+
+}  // namespace tbp::fault

@@ -1,0 +1,238 @@
+// Stateful fault injector + reliable-transport bookkeeping for one World.
+//
+// The injector sits between Communicator::push_message and the shared
+// channels. In fault mode every p2p payload is wrapped in a small wire
+// envelope {magic, seq, checksum}: seq is the per-(src,dst,tag)-channel
+// sequence number (assigned in sender program order, so it is deterministic)
+// and the checksum is FNV-1a over the payload. The sender retains a clean
+// copy of each enveloped message; the receiver delivers strictly in seq
+// order, absorbing duplicates (seq <= delivered), quarantining corrupted
+// payloads (checksum mismatch -> recover from the retained copy), and
+// re-driving gaps left by drops (a blocked receiver re-injects the retained
+// copy after a timeout). Retained copies are garbage-collected as soon as
+// the receiver acknowledges delivery by advancing the per-channel delivered
+// counter — sender and receiver share the World's one mutex, so the
+// "ack" is just that counter.
+//
+// With no plan installed the Communicator never touches this class and the
+// wire format stays the bare payload — the fault-free fast path is
+// byte-identical to the pre-fault engine.
+//
+// All methods expect the caller to hold the World's Shared::mtx (the same
+// discipline as Communicator::progress_locked); the exceptions are the pure
+// helpers and the sleep in slowdown_seconds, which the sender performs
+// outside the lock.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "fault/fault_stats.hh"
+
+namespace tbp::fault {
+
+/// First word of every enveloped message; lets teardown distinguish an
+/// enveloped leftover from garbage and guards against mixing modes.
+inline constexpr std::uint64_t kWireMagic = 0x74627046'4c543031ULL;  // tbpFLT01
+
+/// Envelope layout: three little-endian u64 words before the payload.
+inline constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+
+/// FNV-1a 64-bit over the payload. Cheap, byte-order independent, and a
+/// single flipped byte always changes the digest.
+inline std::uint64_t checksum(std::byte const* p, std::size_t n) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<std::uint64_t>(p[i]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// Shared injector state for one World (owned by comm::detail::Shared,
+/// reset by World::run). Channel key mirrors the mailbox: (src, dst, tag).
+class FaultInjector {
+public:
+    using Key = std::tuple<int, int, int>;
+
+    FaultInjector(FaultPlan plan, RetryConfig retry)
+        : plan_(plan), retry_(retry) {}
+
+    FaultPlan const& plan() const { return plan_; }
+    RetryConfig const& retry() const { return retry_; }
+
+    /// Fresh per-run transport state (counters survive into the report of
+    /// the previous run until the next begin_run).
+    void begin_run() {
+        next_seq_.clear();
+        delivered_.clear();
+        retained_.clear();
+        sends_by_rank_.clear();
+        dead_.clear();
+    }
+
+    // --- sender side (caller holds Shared::mtx) ---------------------------
+
+    /// True if `src` has reached its fail-stop point; the caller throws
+    /// RankFailedError on the poisoned rank's own thread.
+    bool poison_check(int src) {
+        if (plan_.poison_rank != src)
+            return false;
+        if (dead_.count(src))
+            return true;
+        if (sends_by_rank_[src] >= plan_.poison_after_sends) {
+            dead_.insert(src);
+            return true;
+        }
+        return false;
+    }
+
+    bool rank_dead(int r) const { return dead_.count(r) != 0; }
+
+    /// Straggler delay for this send, in seconds (sleep *outside* the lock).
+    double slowdown_seconds(int src) const {
+        return (plan_.slow_rank == src && plan_.slow_us > 0)
+                   ? plan_.slow_us / 1e6
+                   : 0;
+    }
+
+    /// Assign the next sequence number on (src, dst, tag) and wrap the
+    /// payload in the wire envelope. Also counts the send toward the
+    /// poison-point budget.
+    std::vector<std::byte> envelope(int src, int dst, int tag,
+                                    std::vector<std::byte> const& payload,
+                                    std::uint64_t& seq_out) {
+        std::uint64_t const seq = next_seq_[{src, dst, tag}]++;
+        ++sends_by_rank_[src];
+        seq_out = seq;
+        std::vector<std::byte> wire(kHeaderBytes + payload.size());
+        std::uint64_t const words[3] = {kWireMagic, seq,
+                                        checksum(payload.data(),
+                                                 payload.size())};
+        std::memcpy(wire.data(), words, kHeaderBytes);
+        if (!payload.empty())
+            std::memcpy(wire.data() + kHeaderBytes, payload.data(),
+                        payload.size());
+        return wire;
+    }
+
+    /// Remember the clean copy so the receiver can re-drive it after a drop
+    /// or recover it after corruption. GC'd once delivery advances past seq.
+    void retain(int src, int dst, int tag, std::uint64_t seq,
+                std::vector<std::byte> wire) {
+        retained_[{src, dst, tag}].emplace(seq, std::move(wire));
+    }
+
+    /// Flip one deterministic payload byte in an enveloped message (the
+    /// header is left intact so the receiver can identify the message and
+    /// detect the damage by checksum).
+    void corrupt_payload(std::vector<std::byte>& wire,
+                         std::uint64_t seq) const {
+        if (wire.size() <= kHeaderBytes)
+            return;  // zero-length payload: nothing to corrupt
+        std::size_t const off =
+            plan_.corrupt_offset(seq, wire.size() - kHeaderBytes);
+        wire[kHeaderBytes + off] ^= std::byte{0x01};
+    }
+
+    // --- receiver side (caller holds Shared::mtx) -------------------------
+
+    /// Parse an enveloped message. Returns false for a non-enveloped one
+    /// (possible only if a plan was installed mid-world — treated as a
+    /// program error by the caller).
+    static bool parse(std::vector<std::byte> const& wire, std::uint64_t& seq,
+                      std::uint64_t& sum, std::size_t& payload_bytes) {
+        if (wire.size() < kHeaderBytes)
+            return false;
+        std::uint64_t words[3];
+        std::memcpy(words, wire.data(), kHeaderBytes);
+        if (words[0] != kWireMagic)
+            return false;
+        seq = words[1];
+        sum = words[2];
+        payload_bytes = wire.size() - kHeaderBytes;
+        return true;
+    }
+
+    static bool verify(std::vector<std::byte> const& wire,
+                       std::uint64_t expected_sum) {
+        return checksum(wire.data() + kHeaderBytes,
+                        wire.size() - kHeaderBytes)
+               == expected_sum;
+    }
+
+    /// Next sequence number this channel's receiver is waiting for.
+    std::uint64_t expected_seq(int src, int dst, int tag) const {
+        auto it = delivered_.find({src, dst, tag});
+        return it == delivered_.end() ? 0 : it->second;
+    }
+
+    /// True if seq was already delivered on this channel (duplicate).
+    bool already_delivered(int src, int dst, int tag,
+                           std::uint64_t seq) const {
+        return seq < expected_seq(src, dst, tag);
+    }
+
+    /// Acknowledge in-order delivery of `seq`: advance the channel cursor
+    /// and drop retained copies the receiver can never need again.
+    void acknowledge(int src, int dst, int tag, std::uint64_t seq) {
+        Key const k{src, dst, tag};
+        delivered_[k] = seq + 1;
+        auto it = retained_.find(k);
+        if (it == retained_.end())
+            return;
+        auto& m = it->second;
+        m.erase(m.begin(), m.upper_bound(seq));
+        if (m.empty())
+            retained_.erase(it);
+    }
+
+    /// Clean retained copy of the message the receiver is stuck on, if the
+    /// sender already produced it (null: the sender is merely slow — keep
+    /// waiting). The copy stays retained until acknowledged, so repeated
+    /// re-drives are idempotent.
+    std::vector<std::byte> const* retained_copy(int src, int dst,
+                                                int tag) const {
+        auto it = retained_.find({src, dst, tag});
+        if (it == retained_.end())
+            return nullptr;
+        auto m = it->second.find(expected_seq(src, dst, tag));
+        return m == it->second.end() ? nullptr : &m->second;
+    }
+
+    /// True if the channel's sender fail-stopped before producing the
+    /// message the receiver is waiting for (no retained copy exists and the
+    /// sender can never make one) — the receive can fail fast.
+    bool sender_gone(int src, int dst, int tag) const {
+        return rank_dead(src) && retained_copy(src, dst, tag) == nullptr;
+    }
+
+    /// Teardown classification: an enveloped leftover whose seq was
+    /// delivered is a harmless duplicate/re-drive residue, not a leak.
+    bool teardown_absorbable(int src, int dst, int tag,
+                             std::vector<std::byte> const& wire) const {
+        std::uint64_t seq, sum;
+        std::size_t n;
+        return parse(wire, seq, sum, n)
+               && already_delivered(src, dst, tag, seq);
+    }
+
+private:
+    FaultPlan plan_;
+    RetryConfig retry_;
+
+    std::map<Key, std::uint64_t> next_seq_;   ///< sender-side seq counters
+    std::map<Key, std::uint64_t> delivered_;  ///< receiver cursor (seq + 1)
+    std::map<Key, std::map<std::uint64_t, std::vector<std::byte>>> retained_;
+    std::map<int, std::uint64_t> sends_by_rank_;  ///< poison-point budget
+    std::set<int> dead_;                          ///< fail-stopped ranks
+};
+
+}  // namespace tbp::fault

@@ -1,0 +1,80 @@
+// Measured fault-plane report for the comm engine: the resilience
+// counterpart of sched_report.hh's CommReport.
+//
+// With a FaultInjector installed (World::set_fault), every rank's CommStats
+// carries a fault::FaultStats block counting what the plan injected (drops,
+// delays, dups, corruptions, slowdowns) and what the reliable transport did
+// about it (resends, checksum failures, absorbed duplicates). Because the
+// plan is a pure function of its seed, a correct transport makes these
+// counters exact identities of the plan (injector.hh documents them:
+// resends == drops under a drop-only plan, checksum_failures == corrupts,
+// dup_absorbed + teardown-absorbed == dups); fault_report gathers them so
+// tests and benches can assert those identities and operators can print
+// them next to the traffic counters.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hh"
+#include "fault/fault_stats.hh"
+
+namespace tbp::perf {
+
+/// Aggregated fault/recovery counters of one World::run.
+struct FaultReport {
+    std::vector<fault::FaultStats> per_rank;
+    fault::FaultStats total;
+    /// Duplicate messages still in flight at teardown (delivered original
+    /// already consumed); classified by World::run, not per rank.
+    std::uint64_t teardown_absorbed = 0;
+    bool installed = false;  ///< a FaultInjector was active for the run
+
+    /// Total injected faults of every kind.
+    std::uint64_t injected() const {
+        return total.injected_drops + total.injected_delays
+               + total.injected_dups + total.injected_corrupts;
+    }
+
+    /// Every duplicate the plan injected, whether absorbed by a receiver
+    /// mid-run or swept at teardown.
+    std::uint64_t dups_accounted() const {
+        return total.dup_absorbed + teardown_absorbed;
+    }
+
+    std::string format() const {
+        std::ostringstream os;
+        if (!installed)
+            return "fault report: no fault plane installed\n";
+        os << "fault report: " << per_rank.size() << " ranks, "
+           << injected() << " faults injected\n"
+           << "  injected: drops " << total.injected_drops << ", delays "
+           << total.injected_delays << ", dups " << total.injected_dups
+           << ", corrupts " << total.injected_corrupts << ", slowdowns "
+           << total.slowdowns << "\n"
+           << "  recovery: resends " << total.resends
+           << ", checksum failures " << total.checksum_failures
+           << ", dups absorbed " << total.dup_absorbed << " (+"
+           << teardown_absorbed << " at teardown)";
+        if (total.recovery_errors)
+            os << ", recovery errors " << total.recovery_errors;
+        os << "\n";
+        return os.str();
+    }
+};
+
+/// Snapshot the fault counters of the last World::run.
+inline FaultReport fault_report(comm::World const& world) {
+    FaultReport r;
+    r.installed = world.fault() != nullptr;
+    for (int rank = 0; rank < world.size(); ++rank) {
+        r.per_rank.push_back(world.stats(rank).fault);
+        r.total += r.per_rank.back();
+    }
+    r.teardown_absorbed = world.teardown_absorbed();
+    return r;
+}
+
+}  // namespace tbp::perf

@@ -17,15 +17,19 @@
 #include <string>
 
 #include "common/error.hh"
+#include "fault/fault_plan.hh"
 
 namespace tbp::svc {
 
 /// Solver kinds the built-in provider registry dispatches on.
 enum class JobKind {
-    Qdwh,    ///< polar decomposition, QDWH iteration (core/qdwh.hh)
-    ZoloPd,  ///< polar decomposition, Zolotarev rational iteration
-    Posv,    ///< Hermitian positive-definite solve (potrf + 2 trsm)
-    Geqrf,   ///< QR factorization + explicit Q generation
+    Qdwh,      ///< polar decomposition, QDWH iteration (core/qdwh.hh)
+    ZoloPd,    ///< polar decomposition, Zolotarev rational iteration
+    Posv,      ///< Hermitian positive-definite solve (potrf + 2 trsm)
+    Geqrf,     ///< QR factorization + explicit Q generation
+    DistQdwh,  ///< distributed QDWH over virtual ranks (comm/dist_qdwh.hh),
+               ///< optionally under a seeded fault plan; the failover
+               ///< target of graceful degradation is the local Qdwh kind
 };
 
 /// QoS classes mapped onto the engine's per-worker priority lanes:
@@ -41,6 +45,7 @@ inline char const* job_kind_name(JobKind k) {
         case JobKind::ZoloPd: return "zolopd";
         case JobKind::Posv: return "posv";
         case JobKind::Geqrf: return "geqrf";
+        case JobKind::DistQdwh: return "dqdwh";
     }
     return "unknown";
 }
@@ -85,6 +90,18 @@ struct JobSpec {
     /// Execution target; Auto routes Bulk jobs onto the batched executor.
     JobTarget target = JobTarget::Auto;
     int lookahead = 0;  ///< panel lookahead depth of the QR/Cholesky solves
+
+    // --- DistQdwh / resilience fields (inert for the local kinds) ---------
+    int ranks = 0;  ///< virtual ranks of a DistQdwh job; 0 = default (4)
+    /// Seeded chaos plan installed on the job's World (default: inert).
+    /// Part of the spec on purpose: a chaos job is as reproducible as a
+    /// clean one — same spec, same faults, same recovery, same bytes.
+    fault::FaultPlan fault{};
+    double timeout_ms = 0;  ///< comm retry timeout; 0 = RetryConfig default
+    int retry_max = 0;      ///< comm resend budget; 0 = RetryConfig default
+    /// Service-level attempts for this job (re-running the whole provider
+    /// body with backoff); 0 = the service's RetryPolicy default.
+    int max_attempts = 0;
 };
 
 /// Resolve a job's effective target from its override and QoS class.
@@ -104,6 +121,16 @@ struct JobResult {
     int iterations = 0;
     bool converged = false;
     double flops = 0;  ///< measured on the job's private engine
+
+    // --- resilience outcome ------------------------------------------------
+    int attempts = 1;  ///< provider executions (1 = clean first-try run)
+    /// The job ultimately succeeded but needed more than one attempt or a
+    /// provider failover — the "saved by the retry machinery" marker the
+    /// throughput bench reports.
+    bool recovered = false;
+    /// Graceful degradation fired: a faulted DistQdwh run was re-dispatched
+    /// to the single-rank Qdwh provider.
+    bool failed_over = false;
 
     double t_submit = 0;  ///< admission wall time
     double t_start = 0;   ///< body start (t_start - t_submit = queueing)

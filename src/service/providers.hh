@@ -17,9 +17,14 @@
 
 #pragma once
 
+#include <cmath>
 #include <complex>
 #include <cstdint>
+#include <limits>
+#include <vector>
 
+#include "comm/dist.hh"
+#include "comm/dist_qdwh.hh"
 #include "core/qdwh.hh"
 #include "core/zolopd.hh"
 #include "device/executor.hh"
@@ -58,6 +63,14 @@ inline Status validate(JobSpec const& spec) {
             return Status::InvalidArgument;
     } else if (spec.m < spec.n) {
         return Status::InvalidArgument;
+    }
+    if (spec.kind == JobKind::DistQdwh) {
+        // The distributed driver requires tile-aligned rows; the l0 bound
+        // comes from 1/cond, so the condition target must be >= 1. Ranks
+        // are virtual threads — cap them so a typo can't fork 10^6 threads.
+        if (spec.m % spec.nb != 0 || spec.cond < 1 || spec.ranks < 0
+            || spec.ranks > 64)
+            return Status::InvalidArgument;
     }
     return Status::Ok;
 }
@@ -202,6 +215,98 @@ void run_geqrf(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
     stage_dense(ws, Workspace::OutH, A);  // reflectors + R for the oracle
 }
 
+/// Near-square process grid for P virtual ranks: the largest divisor
+/// d <= sqrt(P) gives a d x (P/d) grid (4 -> 2x2, 8 -> 2x4, 7 -> 1x7).
+inline Grid dist_grid(int nranks) {
+    int d = 1;
+    for (int k = 1; k * k <= nranks; ++k)
+        if (nranks % k == 0)
+            d = k;
+    return Grid{d, nranks / d};
+}
+
+template <typename T>
+void run_dist_qdwh(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
+                   JobResult& res) {
+    using R = real_t<T>;
+    double const flops0 = eng.flops_executed();
+    int const P = spec.ranks > 0 ? spec.ranks : 4;
+    Grid const grid = dist_grid(P);
+    int const max_iter = spec.max_iter > 0 ? spec.max_iter : 30;
+
+    // Same reproducible input the local Qdwh provider would generate for
+    // this spec — that identity is what makes single-rank failover (and the
+    // chaos tests' fault-free oracle) meaningful.
+    gen::MatGenOptions g;
+    g.cond = spec.cond;
+    g.seed = spec.seed;
+    TiledMatrix<T> A0 =
+        gen::cond_matrix<T>(eng, spec.m, spec.n, spec.nb, g);
+    eng.wait();
+
+    comm::World world(P);
+    if (spec.fault.enabled()) {
+        fault::RetryConfig rc;
+        if (spec.timeout_ms > 0)
+            rc.timeout_ms = spec.timeout_ms;
+        if (spec.retry_max > 0)
+            rc.retry_max = spec.retry_max;
+        world.set_fault(spec.fault, rc);
+    }
+
+    std::vector<T> U;
+    comm::DistQdwhInfo info;
+    // CommError / RankFailedError out of run() propagate to the service's
+    // retry loop; a recovered chaos run reaches here with clean results.
+    world.run([&](comm::Communicator& c) {
+        comm::DistMatrix<T> A(c, spec.m, spec.n, spec.nb, grid);
+        A.fill([&](std::int64_t i, std::int64_t j) { return A0.at(i, j); });
+        auto inf = comm::dist_qdwh(c, grid, A, 1.0 / spec.cond, max_iter);
+        auto dense = comm::dist_gather(c, A);
+        if (c.rank() == 0) {
+            info = inf;
+            U = std::move(dense);
+        }
+    });
+
+    res.iterations = info.iterations;
+    res.flops = eng.flops_executed() - flops0;
+    double const tol3 =
+        std::cbrt(5.0 * std::numeric_limits<R>::epsilon());
+    res.converged = info.iterations < max_iter || info.conv < tol3;
+    if (!res.converged) {
+        res.status = Status::NotConverged;
+        res.error = std::string(job_kind_name(spec.kind)) + ": "
+                    + status_name(Status::NotConverged);
+        return;
+    }
+
+    std::int64_t const m = spec.m, n = spec.n;
+    T* pu = ws.get_as<T>(Workspace::OutU, static_cast<std::size_t>(m * n));
+    std::copy(U.begin(), U.end(), pu);
+
+    // H = (U^H A + (U^H A)^H) / 2, formed densely on rank 0's gathered
+    // factor (n is the small dimension; this is O(m n^2) scalar work).
+    T* ph = ws.get_as<T>(Workspace::OutH, static_cast<std::size_t>(n * n));
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i < n; ++i) {
+            T acc{};
+            for (std::int64_t k = 0; k < m; ++k)
+                acc += conj_val(U[static_cast<std::size_t>(k + i * m)])
+                       * A0.at(k, j);
+            ph[static_cast<std::size_t>(i + j * n)] = acc;
+        }
+    for (std::int64_t j = 0; j < n; ++j)
+        for (std::int64_t i = 0; i <= j; ++i) {
+            T const h = (ph[static_cast<std::size_t>(i + j * n)]
+                         + conj_val(ph[static_cast<std::size_t>(j + i * n)]))
+                        / T(2);
+            ph[static_cast<std::size_t>(i + j * n)] = h;
+            ph[static_cast<std::size_t>(j + i * n)] = conj_val(h);
+        }
+    res.status = Status::Ok;
+}
+
 }  // namespace detail
 
 inline ProviderRegistry ProviderRegistry::builtin() {
@@ -228,6 +333,12 @@ inline ProviderRegistry ProviderRegistry::builtin() {
                                Workspace& ws, JobResult& res) {
         with_scalar_type(spec.type, [&](auto tag) {
             detail::run_geqrf<decltype(tag)>(eng, spec, ws, res);
+        });
+    });
+    reg.add(JobKind::DistQdwh, [](rt::Engine& eng, JobSpec const& spec,
+                                  Workspace& ws, JobResult& res) {
+        with_scalar_type(spec.type, [&](auto tag) {
+            detail::run_dist_qdwh<decltype(tag)>(eng, spec, ws, res);
         });
     });
     return reg;

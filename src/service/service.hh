@@ -36,12 +36,27 @@
 
 namespace tbp::svc {
 
+/// Per-job retry and degradation policy. Defaults preserve the pre-fault
+/// behavior exactly: one attempt, no failover re-dispatch (failover only
+/// fires for DistQdwh jobs, so local-only deployments never see it).
+struct RetryPolicy {
+    /// Provider executions per job (JobSpec::max_attempts overrides).
+    int max_attempts = 1;
+    double backoff_ms = 1.0;    ///< sleep before the second attempt
+    double backoff_mult = 2.0;  ///< multiplier per further attempt
+    /// Graceful degradation: after a DistQdwh job exhausts its attempts on
+    /// retryable errors, re-dispatch it once to the single-rank Qdwh
+    /// provider (no network, no fault plan).
+    bool failover = true;
+};
+
 struct ServiceOptions {
     /// Ignore QoS classes and run everything at one priority (the FIFO
     /// baseline the throughput bench A/Bs against).
     bool fifo = false;
     /// Engine priority of the Latency class (Bulk is always 0).
     int latency_priority = 1;
+    RetryPolicy retry;
 };
 
 struct ServiceStats {
@@ -50,7 +65,26 @@ struct ServiceStats {
     std::uint64_t failed = 0;  ///< completed with status != Ok
     std::uint64_t admitted_latency = 0;
     std::uint64_t admitted_bulk = 0;
+    std::uint64_t dispatched = 0;    ///< handed to the engine so far
+    std::uint64_t retried_jobs = 0;  ///< jobs needing > 1 attempt/failover
+    std::uint64_t recovered_jobs = 0;  ///< retried jobs that ended Ok
+    std::uint64_t failed_over = 0;     ///< jobs re-dispatched to Qdwh
     std::size_t workspaces_created = 0;  ///< flat once the pool is warm
+};
+
+/// Liveness snapshot for operators: is the dispatcher making progress, and
+/// how much recovery work has the service been doing. Heartbeats advance
+/// once per dispatcher admission cycle, so a wedged dispatcher shows up as
+/// a stale heartbeat with queued > 0.
+struct HealthReport {
+    bool dispatcher_alive = false;  ///< thread running and not stopping
+    std::uint64_t heartbeats = 0;   ///< dispatcher admission cycles
+    double heartbeat_age = 0;  ///< seconds since the dispatcher last moved
+    std::uint64_t queued = 0;     ///< admitted, not yet dispatched
+    std::uint64_t in_flight = 0;  ///< dispatched, not yet completed
+    std::uint64_t retried_jobs = 0;
+    std::uint64_t recovered_jobs = 0;
+    std::uint64_t failed_over = 0;
 };
 
 namespace detail {
@@ -125,9 +159,17 @@ public:
 
     ServiceStats stats() const;
 
+    /// Liveness/recovery snapshot; thread-safe, never blocks on jobs.
+    HealthReport health() const;
+
 private:
     void dispatcher_loop();
     void run_job(std::shared_ptr<detail::JobState> const& st);
+
+    /// One provider execution: validate + dispatch. Throws whatever the
+    /// provider throws; the retry loop in run_job owns the policy.
+    void run_attempt(JobSpec const& spec, detail::JobState& st,
+                     JobResult& res);
 
     rt::Engine& eng_;
     ProviderRegistry registry_;
@@ -142,6 +184,12 @@ private:
     ServiceStats stats_;
     std::uint64_t next_id_ = 1;
     bool stop_ = false;
+
+    // Dispatcher heartbeat (guarded by mtx_): bumped once per admission
+    // cycle so health() can distinguish "idle" from "wedged".
+    std::uint64_t heartbeats_ = 0;
+    double last_heartbeat_ = 0;
+    bool dispatcher_alive_ = false;
 
     std::thread dispatcher_;
 };

@@ -31,6 +31,8 @@
 #include "comm/dist_qdwh.hh"
 #include "common/timer.hh"
 #include "core/baselines.hh"
+#include "fault/fault_plan.hh"
+#include "perf/fault_report.hh"
 #include "perf/qdwh_model.hh"
 #include "perf/sched_report.hh"
 #include "core/qdwh.hh"
@@ -72,7 +74,37 @@ struct Args {
     bool target_set = false;   // --target given (serve: Auto when unset)
     int lookahead = 0;         // panel lookahead depth (geqrf/potrf)
     int max_batch = 32;        // largest coalesced batch under --target batched
+    // --- fault plane (dqdwh, serve) ---------------------------------------
+    std::string fault_plan = "off";  // off|drop|delay|dup|corrupt|slow|poison|mix
+    std::uint64_t fault_seed = 1;    // chaos seed (replayable)
+    double fault_rate = 0.05;        // per-message fault probability
+    double timeout_ms = 0;           // comm retry timeout (0 = default)
+    int retry_max = 0;               // comm resend budget (0 = default)
 };
+
+/// Build the seeded chaos plan the --fault-* flags describe (inert when
+/// --fault-plan is "off").
+fault::FaultPlan make_fault_plan(Args const& a) {
+    if (a.fault_plan == "off")
+        return {};
+    fault::FaultKind k = a.fault_plan == "drop"      ? fault::FaultKind::Drop
+                         : a.fault_plan == "delay"   ? fault::FaultKind::Delay
+                         : a.fault_plan == "dup"     ? fault::FaultKind::Duplicate
+                         : a.fault_plan == "corrupt" ? fault::FaultKind::Corrupt
+                         : a.fault_plan == "slow"    ? fault::FaultKind::Slowdown
+                         : a.fault_plan == "poison"  ? fault::FaultKind::PoisonRank
+                                                     : fault::FaultKind::Mix;
+    return fault::FaultPlan::preset(k, a.fault_seed, a.fault_rate);
+}
+
+fault::RetryConfig make_retry_config(Args const& a) {
+    fault::RetryConfig rc;
+    if (a.timeout_ms > 0)
+        rc.timeout_ms = a.timeout_ms;
+    if (a.retry_max > 0)
+        rc.retry_max = a.retry_max;
+    return rc;
+}
 
 [[noreturn]] void usage(char const* argv0) {
     std::fprintf(stderr,
@@ -120,7 +152,16 @@ struct Args {
                  "  bottleneck model and takes the cheaper; '2d'/'2.5d' force "
                  "one.\n"
                  "  --repl C forces replication depth C (layer grid spans "
-                 "ranks/C).\n",
+                 "ranks/C).\n"
+                 "  --fault-plan off|drop|delay|dup|corrupt|slow|poison|mix "
+                 "installs a\n"
+                 "  seeded chaos plan on the dqdwh World (or the serve batch's "
+                 "dqdwh\n"
+                 "  jobs): --fault-seed S replays the exact same faults, "
+                 "--fault-rate R\n"
+                 "  sets the per-message probability, --timeout-ms / "
+                 "--retry-max tune the\n"
+                 "  reliable transport's resend policy.\n",
                  argv0);
     std::exit(2);
 }
@@ -216,6 +257,27 @@ Args parse(int argc, char** argv) {
             }
         } else if (!std::strcmp(argv[i], "--repl")) {
             a.repl = std::atoi(need("--repl"));
+        } else if (!std::strcmp(argv[i], "--fault-plan")) {
+            a.fault_plan = need("--fault-plan");
+            if (a.fault_plan != "off" && a.fault_plan != "drop"
+                && a.fault_plan != "delay" && a.fault_plan != "dup"
+                && a.fault_plan != "corrupt" && a.fault_plan != "slow"
+                && a.fault_plan != "poison" && a.fault_plan != "mix") {
+                std::fprintf(stderr, "unknown --fault-plan %s\n",
+                             a.fault_plan.c_str());
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(argv[i], "--fault-seed")) {
+            a.fault_seed =
+                static_cast<std::uint64_t>(std::atoll(need("--fault-seed")));
+            if (a.fault_plan == "off")
+                a.fault_plan = "mix";  // a seed alone means "chaos, please"
+        } else if (!std::strcmp(argv[i], "--fault-rate")) {
+            a.fault_rate = std::atof(need("--fault-rate"));
+        } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+            a.timeout_ms = std::atof(need("--timeout-ms"));
+        } else if (!std::strcmp(argv[i], "--retry-max")) {
+            a.retry_max = std::atoi(need("--retry-max"));
         } else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             usage(argv[0]);
@@ -455,6 +517,11 @@ int run_dist(Args const& a) {
     Grid const g = g3.layer();
     comm::World world(a.ranks);
     world.set_coll_config(cfg);
+    auto const plan_f = make_fault_plan(a);
+    if (plan_f.enabled()) {
+        world.set_fault(plan_f, make_retry_config(a));
+        std::printf("fault plan: %s\n", plan_f.describe().c_str());
+    }
 
     ref::Dense<T> U(a.m, a.n);
     comm::DistQdwhInfo info;
@@ -506,6 +573,8 @@ int run_dist(Args const& a) {
                 bwd);
     auto rep = perf::comm_report(world);
     std::printf("%s", rep.format().c_str());
+    if (world.fault())
+        std::printf("%s", perf::fault_report(world).format().c_str());
     if (a.verbose) {
         // Model check: predicted traffic of one n-element allreduce (the
         // norm-estimator / convergence shape) under the selected algorithm.
@@ -528,12 +597,24 @@ int run_dist(Args const& a) {
 /// jobs/sec and per-QoS-class latency percentiles.
 int run_serve(Args const& a) {
     rt::Engine eng(a.threads, rt::Mode::TaskDataflow, a.sched);
+    auto const plan_f = make_fault_plan(a);
     svc::ServiceOptions so;
     so.fifo = a.fifo;
+    if (plan_f.enabled()) {
+        // Chaos workloads get a real retry budget so the resilience stats
+        // show recovery, not just failure.
+        so.retry.max_attempts = 3;
+        std::printf("fault plan: %s\n", plan_f.describe().c_str());
+    }
     svc::PolarService service(eng, so);
 
-    svc::JobKind const kinds[] = {svc::JobKind::Qdwh, svc::JobKind::Posv,
-                                  svc::JobKind::Geqrf, svc::JobKind::ZoloPd};
+    // Under a fault plan the Latency slot (every 4th job) becomes a
+    // distributed QDWH carrying the chaos plan, so the batch exercises the
+    // comm recovery path and the service's retry/failover machinery.
+    svc::JobKind const kinds[] = {plan_f.enabled() ? svc::JobKind::DistQdwh
+                                                   : svc::JobKind::Qdwh,
+                                  svc::JobKind::Posv, svc::JobKind::Geqrf,
+                                  svc::JobKind::ZoloPd};
     CounterRng arrivals(a.seed ^ 0x5E17E);
     std::vector<svc::JobHandle> handles;
     handles.reserve(static_cast<size_t>(a.jobs));
@@ -551,6 +632,13 @@ int run_serve(Args const& a) {
         s.seed = a.seed + static_cast<std::uint64_t>(i);
         if (s.kind == svc::JobKind::ZoloPd)
             s.r = a.r;
+        if (s.kind == svc::JobKind::DistQdwh) {
+            s.ranks = std::min(a.ranks, 4);
+            s.fault = plan_f;
+            s.fault.seed = a.fault_seed + static_cast<std::uint64_t>(i);
+            s.timeout_ms = a.timeout_ms;
+            s.retry_max = a.retry_max;
+        }
         // Default Auto routes Bulk jobs onto the batched executor; an
         // explicit --target forces one path for the whole batch.
         if (a.target_set)
@@ -608,6 +696,15 @@ int run_serve(Args const& a) {
                 "p99 %.2fms\n",
                 pct(lat[0], 0.5) * 1e3, pct(lat[0], 0.99) * 1e3,
                 pct(lat[1], 0.5) * 1e3, pct(lat[1], 0.99) * 1e3);
+    if (plan_f.enabled() || st.retried_jobs > 0) {
+        auto const h = service.health();
+        std::printf("  resilience: retried %llu   recovered %llu   "
+                    "failed-over %llu   heartbeats %llu\n",
+                    static_cast<unsigned long long>(st.retried_jobs),
+                    static_cast<unsigned long long>(st.recovered_jobs),
+                    static_cast<unsigned long long>(st.failed_over),
+                    static_cast<unsigned long long>(h.heartbeats));
+    }
     return failed == 0 ? 0 : 1;
 }
 
