@@ -222,13 +222,14 @@ int run_sweep(std::string const& json_path) {
     return all_match ? 0 : 1;
 }
 
-int run_smoke() {
+int run_smoke(std::string const& json_path) {
     using comm::coll::Algo;
     bool ok = true;
     auto fail = [&](char const* what) {
         std::printf("smoke FAIL: %s\n", what);
         ok = false;
     };
+    bench::JsonEmitter out;
 
     // Every (kind, algo) pair must match the model exactly, including a
     // non-power-of-two rank count.
@@ -239,9 +240,21 @@ int run_smoke() {
             for (auto algo : algos_for(kind)) {
                 auto m = run_case(kind, algo, P, 512, 3);
                 auto v = predict(kind, algo, P, 512, 3);
-                if (!check_attribution(kind, v))
+                bool const attr_ok = check_attribution(kind, v);
+                bool const match = check_match(m, v);
+                bench::JsonRecord rec;
+                rec.field("bench", "collectives_smoke");
+                rec.field("kind", kind_name(kind));
+                rec.field("algo", comm::coll::algo_name(algo));
+                rec.field("ranks", P);
+                rec.field("measured_bytes", m.rep.total.bytes_sent);
+                rec.field("measured_msgs", m.rep.total.sends);
+                rec.field("attribution_ok", attr_ok);
+                rec.field("volume_model_match", match);
+                out.add(rec);
+                if (!attr_ok)
                     fail("per-family byte attribution wrong");
-                if (!check_match(m, v)) {
+                if (!match) {
                     std::printf("  %s/%s P=%d: measured %llu msgs %llu bytes "
                                 "max %llu vs model %llu/%llu/%llu\n",
                                 kind_name(kind), comm::coll::algo_name(algo),
@@ -284,8 +297,18 @@ int run_smoke() {
         // bandwidth bottleneck is where ring wins.
         if (rin_a.max_rank_bytes >= lin_big.max_rank_bytes)
             fail("ring allreduce does not beat linear per-rank bytes");
+        bench::JsonRecord rec;
+        rec.field("bench", "collectives_smoke");
+        rec.field("ranks", P);
+        rec.field("bottleneck_ok",
+                  tre_b.max_rank_sends < lin_b.max_rank_sends
+                      && rec_a.max_rank_sends < lin_a.max_rank_sends
+                      && rin_a.max_rank_bytes < lin_big.max_rank_bytes);
+        out.add(rec);
     }
 
+    if (out.write(json_path))
+        std::printf("wrote %s\n", json_path.c_str());
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }
@@ -307,6 +330,6 @@ int main(int argc, char** argv) {
         }
     }
     if (smoke)
-        return run_smoke();
+        return run_smoke(json_path);
     return run_sweep(json_path);
 }

@@ -241,12 +241,13 @@ int run_sweep(std::string const& json_path) {
     return all_match && crossover_ok ? 0 : 1;
 }
 
-int run_smoke() {
+int run_smoke(std::string const& json_path) {
     bool ok = true;
     auto fail = [&](char const* what) {
         std::printf("smoke FAIL: %s\n", what);
         ok = false;
     };
+    bench::JsonEmitter out;
 
     int const nb = 4;
     // Exact model == measured for 2D and 2.5D shapes in both reduction
@@ -262,7 +263,20 @@ int run_smoke() {
             auto meas = run_gemm(cs.s, cs.m, cs.m, cs.m, nb, det);
             auto v = perf::summa_volume(cs.m, cs.m, cs.m, nb, sizeof(double),
                                         cs.s.p, cs.s.q, cs.s.c, det);
-            if (!check_match(meas, v)) {
+            bool const match = check_match(meas, v);
+            bench::JsonRecord rec;
+            rec.field("bench", "summa_25d_smoke");
+            rec.field("p", cs.s.p);
+            rec.field("q", cs.s.q);
+            rec.field("c", cs.s.c);
+            rec.field("m", cs.m);
+            rec.field("deterministic", det);
+            rec.field("measured_bytes", meas.rep.total.bytes_sent);
+            rec.field("measured_msgs", meas.rep.total.sends);
+            rec.field("max_rank_bytes", meas.rep.max_rank_bytes());
+            rec.field("volume_model_match", match);
+            out.add(rec);
+            if (!match) {
                 std::printf("  %dx%dx%d det=%d: measured %llu msgs %llu "
                             "bytes max %llu vs model %llu/%llu/%llu\n",
                             cs.s.p, cs.s.q, cs.s.c, det ? 1 : 0,
@@ -289,17 +303,29 @@ int run_smoke() {
         auto plan = perf::choose_summa_plan(P, d.m, d.n, d.k, nb,
                                             sizeof(double), false,
                                             comm::CommPlan::Auto);
-        if (plan.c < 2
-            || plan.vol.total.max_rank_bytes
-                   >= plan.vol2d.total.max_rank_bytes)
+        bool const crossover_ok =
+            plan.c >= 2
+            && plan.vol.total.max_rank_bytes
+                   < plan.vol2d.total.max_rank_bytes;
+        if (!crossover_ok)
             fail("2.5d does not beat 2d max_rank_bytes at P >= 16");
         auto p2d = perf::choose_summa_plan(P, d.m, d.n, d.k, nb,
                                            sizeof(double), false,
                                            comm::CommPlan::Grid2d);
         if (p2d.c != 1)
             fail("forced 2d plan picked c > 1");
+        bench::JsonRecord rec;
+        rec.field("bench", "summa_25d_smoke");
+        rec.field("ranks", P);
+        rec.field("chosen_c", plan.c);
+        rec.field("max_rank_bytes_25d", plan.vol.total.max_rank_bytes);
+        rec.field("max_rank_bytes_2d", plan.vol2d.total.max_rank_bytes);
+        rec.field("crossover_ok", crossover_ok && p2d.c == 1);
+        out.add(rec);
     }
 
+    if (out.write(json_path))
+        std::printf("wrote %s\n", json_path.c_str());
     std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
 }
@@ -321,6 +347,6 @@ int main(int argc, char** argv) {
         }
     }
     if (smoke)
-        return run_smoke();
+        return run_smoke(json_path);
     return run_sweep(json_path);
 }

@@ -18,8 +18,9 @@
 //   bench_throughput [--smoke] [--jobs N] [--json PATH]
 //
 // --smoke runs inside ctest (label "service"): >= 1000 mixed jobs, exits
-// nonzero on any oracle mismatch, unexpected status, or a QoS p99 that is
-// not below the FIFO baseline. Results land in BENCH_throughput.json.
+// nonzero on any oracle mismatch, unexpected status, a QoS p99 that is
+// not below the FIFO baseline, or default (batched-bulk) throughput below
+// the forced all-tasks baseline. Results land in BENCH_throughput.json.
 
 #include <algorithm>
 #include <cmath>
@@ -59,9 +60,16 @@ std::vector<SpecCase> make_cases() {
         c.spec.seed = 1000 + cs.size();
         if (k == JobKind::ZoloPd)
             c.spec.r = 2;
+        // Pinned, not Auto: the oracle runs the spec at its default (Bulk)
+        // class while the batch alternates classes, and Auto precision is
+        // class-resolved — pinning keeps job bytes a pure function of the
+        // spec. Adaptive also puts the ladder on the bench's critical path.
+        c.spec.precision = svc::JobPrec::Adaptive;
         cs.push_back(c);
     };
     add(JobKind::Qdwh, 'd', 16, 16, 8, 1e6);
+    add(JobKind::Qdwh, 'd', 48, 48, 8, 1e6);   // 36 tiles: routes Batched
+    add(JobKind::Geqrf, 'd', 32, 24, 8, 0);    // 12 tiles: routes Batched
     add(JobKind::Qdwh, 's', 24, 16, 8, 1e3);
     add(JobKind::Qdwh, 'z', 12, 12, 4, 1e4);
     add(JobKind::Qdwh, 'c', 16, 16, 16, 1e2);  // single tile, nb >= n
@@ -367,6 +375,14 @@ int main(int argc, char** argv) {
               "deliberate failures missing from the qos run");
         check(qos.latency.p99 < fifo.latency.p99,
               "QoS latency-class p99 not below the FIFO baseline");
+        // Batched routing must never cost throughput: resolve_target keeps
+        // jobs under kBatchedMinTiles on plain tasks (too few same-shape
+        // ops to amortize the collector there — measured 0.74-0.88x when
+        // such jobs were routed through the executor), so the default Auto
+        // mix, which batches only the >= 9-tile jobs, has to match or beat
+        // the forced all-tasks run. 3% slack absorbs wall-clock jitter only.
+        check(tput_ratio >= 0.97,
+              "batched-bulk throughput fell below the all-tasks baseline");
         std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
         return ok ? 0 : 1;
     }

@@ -58,7 +58,8 @@ void potrf(Uplo uplo, Tile<T> const& A) {
         }
     }
 
-    kernel::count_flops(flops::potrf(n) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::potrf(n) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 }  // namespace tbp::blas

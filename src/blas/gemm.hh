@@ -93,9 +93,19 @@ void gemm_naive(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
 
 /// Path selection without flop accounting — used by the blocked level-3
 /// kernels whose public entry points charge their own (aggregate) counts.
+/// A float-typed call under an active bf16 gemm mode always takes the
+/// packed path: the bf16 truncation lives in the pack layer, so routing to
+/// the naive loops (crossover or TBP_NAIVE_BLAS) would silently run the
+/// "bf16" gemm in full fp32.
 template <typename T>
 void gemm_dispatch(Op opA, Op opB, T alpha, Tile<T> const& A,
                    Tile<T> const& B, T beta, Tile<T> const& C) {
+    if constexpr (std::is_same_v<real_t<T>, float>) {
+        if (prec::exec_gemm_mode() != prec::GemmMode::Native) {
+            kernel::gemm(opA, opB, alpha, A, B, beta, C);
+            return;
+        }
+    }
     int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
     double const volume =
         static_cast<double>(C.mb()) * C.nb() * static_cast<double>(k);
@@ -111,7 +121,8 @@ void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
     gemm_dispatch(opA, opB, alpha, A, B, beta, C);
     int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
     kernel::count_flops(flops::gemm(C.mb(), C.nb(), k)
-                        * (fma_flops<T>() / 2.0));
+                        * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Matrix-vector style product used by gemmA reductions: y := alpha op(A) x
@@ -136,7 +147,8 @@ void gemv(Op opA, T alpha, Tile<T> const& A, T const* x, T beta, T* y) {
             y[i] += alpha * sum;
         }
     }
-    kernel::count_flops(flops::gemm(m, n, 1) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::gemm(m, n, 1) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 }  // namespace tbp::blas

@@ -142,7 +142,8 @@ void geqrt(Tile<T> const& A, Tile<T> const& Tf) {
             Tf(i, j) = T(0);
     }
 
-    kernel::count_flops(flops::geqrf(mb, nb) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::geqrf(mb, nb) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Apply the block reflector from geqrt(V, T) to tile C from the left
@@ -262,7 +263,8 @@ void unmqr(Op op, Tile<T> const& V, Tile<T> const& Tf, Tile<T> const& C) {
         unmqr_naive(op, V, Tf, C);
     else
         unmqr_level3(op, V, Tf, C);
-    kernel::count_flops(flops::unmqr(mb, nn, k) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::unmqr(mb, nn, k) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Triangle-on-top-of-square QR: factor [R1; A2] where R1 = upper triangle
@@ -318,7 +320,8 @@ void tsqrt(Tile<T> const& A1, Tile<T> const& A2, Tile<T> const& Tf) {
             Tf(i, j) = T(0);
     }
 
-    kernel::count_flops(flops::tsqrt(m2, n) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::tsqrt(m2, n) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Apply the tsqrt block reflector to the tile pair [C1; C2] (reference
@@ -422,7 +425,8 @@ void tsmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf,
         tsmqr_naive(op, V2, Tf, C1, C2);
     else
         tsmqr_level3(op, V2, Tf, C1, C2);
-    kernel::count_flops(flops::tsmqr(m2, n, nn) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::tsmqr(m2, n, nn) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Triangle-on-top-of-triangle QR: factor [R1; R2] where R1 = upper
@@ -486,7 +490,8 @@ void ttqrt(Tile<T> const& A1, Tile<T> const& A2, Tile<T> const& Tf) {
             Tf(i, j) = T(0);
     }
 
-    kernel::count_flops(flops::ttqrt(m2, n) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::ttqrt(m2, n) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Apply the ttqrt block reflector to the tile pair [C1; C2] (reference
@@ -612,7 +617,8 @@ void ttmqr(Op op, Tile<T> const& V2, Tile<T> const& Tf, Tile<T> const& C1,
     else
         ttmqr_level3(op, V2, Tf, C1, C2, c2_zero);
     kernel::count_flops(flops::ttmqr(m2, n, nn, c2_zero)
-                        * (fma_flops<T>() / 2.0));
+                        * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 }  // namespace tbp::blas

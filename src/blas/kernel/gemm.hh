@@ -9,6 +9,20 @@
 // Semantics are identical to blas::gemm_naive (see blas/gemm.hh), including
 // the BLAS beta convention: beta == 0 stores zeros without reading C, so
 // NaN/Inf in uninitialized C tiles cannot leak into results.
+//
+// Float-typed gemms consult the thread's execution-time gemm mode
+// (prec::exec_gemm_mode):
+//   * Bf16     — both operands are truncated to bf16 at pack time and the
+//                unchanged fp32 micro-kernel accumulates them (the
+//                bf16-in/fp32-accumulate matrix-unit contract).
+//   * Bf16Comp — the TPU-paper compensated scheme: with hi = bf16(x) and
+//                lo = bf16(x - hi), three truncated passes accumulate
+//                hi*hi (carrying beta), then hi*lo and lo*hi with beta = 1;
+//                the O(eps_bf16^2) lo*lo term is dropped. Costs ~3x the
+//                packing and kernel time of one pass — the precision-aware
+//                cost model charges the same flop formula but models the
+//                rate, not the count, as 3x.
+// Double-typed gemms never consult the mode.
 
 #pragma once
 
@@ -19,6 +33,7 @@
 #include "blas/kernel/pack.hh"
 #include "blas/kernel/params.hh"
 #include "common/error.hh"
+#include "common/precision.hh"
 #include "common/types.hh"
 #include "matrix/tile.hh"
 
@@ -47,25 +62,15 @@ inline auto plane(T const* p) {
         return p;
 }
 
-}  // namespace detail
-
-/// C := alpha * op(A) * op(B) + beta * C through the packed micro-kernel.
-/// Dimension contract matches blas::gemm.
+/// One full five-loop accumulation pass with per-operand pack transforms.
+/// beta has already been applied by the caller; this pass only accumulates.
 template <typename T>
-void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
-          T beta, Tile<T> const& C) {
+void gemm_pass(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
+               Tile<T> const& C, int k, prec::PackTrans ta,
+               prec::PackTrans tb) {
     using P = Params<T>;
     int const m = C.mb();
     int const n = C.nb();
-    int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
-
-    tbp_require(((opA == Op::NoTrans) ? A.mb() : A.nb()) == m);
-    tbp_require(((opB == Op::NoTrans) ? B.mb() : B.nb()) == k);
-    tbp_require(((opB == Op::NoTrans) ? B.nb() : B.mb()) == n);
-
-    scale_beta(beta, C);
-    if (alpha == T(0) || k == 0)
-        return;
 
     auto& arena = tls_arena<T>();
     for (int jc = 0; jc < n; jc += P::NC) {
@@ -75,13 +80,13 @@ void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
             int const kc = std::min(P::KC, k - pc);
             T* bbuf = arena.get(kPackB,
                                 static_cast<std::size_t>(nstrips) * P::NR * kc);
-            pack_b(opB, B, pc, jc, kc, nc, bbuf);
+            pack_b(opB, B, pc, jc, kc, nc, bbuf, tb);
             for (int ic = 0; ic < m; ic += P::MC) {
                 int const mc = std::min(P::MC, m - ic);
                 int const mstrips = (mc + P::MR - 1) / P::MR;
                 T* abuf = arena.get(
                     kPackA, static_cast<std::size_t>(mstrips) * P::MR * kc);
-                pack_a(opA, A, ic, pc, mc, kc, abuf);
+                pack_a(opA, A, ic, pc, mc, kc, abuf, ta);
                 for (int jr = 0; jr < nc; jr += P::NR) {
                     int const nr = std::min(P::NR, nc - jr);
                     T const* bp = bbuf
@@ -104,6 +109,49 @@ void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
                 }
             }
         }
+    }
+}
+
+}  // namespace detail
+
+/// C := alpha * op(A) * op(B) + beta * C through the packed micro-kernel.
+/// Dimension contract matches blas::gemm.
+template <typename T>
+void gemm(Op opA, Op opB, T alpha, Tile<T> const& A, Tile<T> const& B,
+          T beta, Tile<T> const& C) {
+    int const m = C.mb();
+    int const n = C.nb();
+    int const k = (opA == Op::NoTrans) ? A.nb() : A.mb();
+
+    tbp_require(((opA == Op::NoTrans) ? A.mb() : A.nb()) == m);
+    tbp_require(((opB == Op::NoTrans) ? B.mb() : B.nb()) == k);
+    tbp_require(((opB == Op::NoTrans) ? B.nb() : B.mb()) == n);
+
+    scale_beta(beta, C);
+    if (alpha == T(0) || k == 0)
+        return;
+
+    auto mode = prec::GemmMode::Native;
+    if constexpr (std::is_same_v<real_t<T>, float>)
+        mode = prec::exec_gemm_mode();
+
+    using PT = prec::PackTrans;
+    switch (mode) {
+        case prec::GemmMode::Native:
+            detail::gemm_pass(opA, opB, alpha, A, B, C, k, PT::None, PT::None);
+            break;
+        case prec::GemmMode::Bf16:
+            detail::gemm_pass(opA, opB, alpha, A, B, C, k, PT::Bf16Hi,
+                              PT::Bf16Hi);
+            break;
+        case prec::GemmMode::Bf16Comp:
+            detail::gemm_pass(opA, opB, alpha, A, B, C, k, PT::Bf16Hi,
+                              PT::Bf16Hi);
+            detail::gemm_pass(opA, opB, alpha, A, B, C, k, PT::Bf16Hi,
+                              PT::Bf16Lo);
+            detail::gemm_pass(opA, opB, alpha, A, B, C, k, PT::Bf16Lo,
+                              PT::Bf16Hi);
+            break;
     }
 }
 

@@ -14,12 +14,21 @@
 // contiguous real data. A strip therefore occupies the same number of
 // *complex* elements (kc * MR) whether split or not, so buffer sizing in T
 // units is uniform across types.
+//
+// Simulated bf16 lives here as well: a pack-time value transform
+// (prec::PackTrans) truncates each packed float scalar to bf16 with
+// round-to-nearest-even (componentwise for complex), or extracts the low
+// half for the compensated scheme. The micro-kernel itself is unchanged —
+// it accumulates the truncated operands in fp32, which is exactly the
+// bf16-in/fp32-accumulate contract of real matrix units. Double-typed packs
+// never consult the transform.
 
 #pragma once
 
 #include <algorithm>
 
 #include "blas/kernel/params.hh"
+#include "common/precision.hh"
 #include "common/types.hh"
 #include "matrix/tile.hh"
 
@@ -27,9 +36,26 @@ namespace tbp::blas::kernel {
 
 namespace detail {
 
+/// Apply the pack-time value transform to one scalar. Only float-kind
+/// scalars are ever transformed; the double instantiations keep their
+/// straight-copy loops.
+template <typename T>
+inline T pack_value(prec::PackTrans tr, T v) {
+    if constexpr (std::is_same_v<T, float>) {
+        return prec::apply_pack_trans(tr, v);
+    } else if constexpr (std::is_same_v<T, std::complex<float>>) {
+        return T(prec::apply_pack_trans(tr, v.real()),
+                 prec::apply_pack_trans(tr, v.imag()));
+    } else {
+        (void)tr;
+        return v;
+    }
+}
+
 /// Write mc x kc elements elem(i, l) as MR-row strips into buf.
 template <typename T, int BR, typename Elem>
-inline void pack_strips(int mc, int kc, Elem&& elem, T* buf) {
+inline void pack_strips(int mc, int kc, Elem&& elem, T* buf,
+                        prec::PackTrans tr = prec::PackTrans::None) {
     using R = real_t<T>;
     if constexpr (is_complex_v<T>) {
         R* out = reinterpret_cast<R*>(buf);
@@ -37,7 +63,7 @@ inline void pack_strips(int mc, int kc, Elem&& elem, T* buf) {
             int const br = std::min(BR, mc - ir);
             for (int l = 0; l < kc; ++l, out += 2 * BR) {
                 for (int i = 0; i < br; ++i) {
-                    T const v = elem(ir + i, l);
+                    T const v = pack_value<T>(tr, elem(ir + i, l));
                     out[i] = v.real();
                     out[BR + i] = v.imag();
                 }
@@ -53,7 +79,7 @@ inline void pack_strips(int mc, int kc, Elem&& elem, T* buf) {
             int const br = std::min(BR, mc - ir);
             for (int l = 0; l < kc; ++l, out += BR) {
                 for (int i = 0; i < br; ++i)
-                    out[i] = elem(ir + i, l);
+                    out[i] = pack_value<T>(tr, elem(ir + i, l));
                 for (int i = br; i < BR; ++i)
                     out[i] = T(0);
             }
@@ -65,22 +91,25 @@ inline void pack_strips(int mc, int kc, Elem&& elem, T* buf) {
 
 /// Pack rows [i0, i0+mc) x columns [p0, p0+kc) of op(A) into MR strips.
 template <typename T>
-void pack_a(Op op, Tile<T> const& A, int i0, int p0, int mc, int kc, T* buf) {
+void pack_a(Op op, Tile<T> const& A, int i0, int p0, int mc, int kc, T* buf,
+            prec::PackTrans tr = prec::PackTrans::None) {
     constexpr int MR = Params<T>::MR;
     switch (op) {
         case Op::NoTrans:
             detail::pack_strips<T, MR>(
-                mc, kc, [&](int i, int l) { return A(i0 + i, p0 + l); }, buf);
+                mc, kc, [&](int i, int l) { return A(i0 + i, p0 + l); }, buf,
+                tr);
             break;
         case Op::Trans:
             detail::pack_strips<T, MR>(
-                mc, kc, [&](int i, int l) { return A(p0 + l, i0 + i); }, buf);
+                mc, kc, [&](int i, int l) { return A(p0 + l, i0 + i); }, buf,
+                tr);
             break;
         case Op::ConjTrans:
             detail::pack_strips<T, MR>(
                 mc, kc,
                 [&](int i, int l) { return conj_val(A(p0 + l, i0 + i)); },
-                buf);
+                buf, tr);
             break;
     }
 }
@@ -88,22 +117,25 @@ void pack_a(Op op, Tile<T> const& A, int i0, int p0, int mc, int kc, T* buf) {
 /// Pack rows [p0, p0+kc) x columns [j0, j0+nc) of op(B) into NR strips
 /// (strips run over columns; each k-step holds NR column values).
 template <typename T>
-void pack_b(Op op, Tile<T> const& B, int p0, int j0, int kc, int nc, T* buf) {
+void pack_b(Op op, Tile<T> const& B, int p0, int j0, int kc, int nc, T* buf,
+            prec::PackTrans tr = prec::PackTrans::None) {
     constexpr int NR = Params<T>::NR;
     switch (op) {
         case Op::NoTrans:
             detail::pack_strips<T, NR>(
-                nc, kc, [&](int j, int l) { return B(p0 + l, j0 + j); }, buf);
+                nc, kc, [&](int j, int l) { return B(p0 + l, j0 + j); }, buf,
+                tr);
             break;
         case Op::Trans:
             detail::pack_strips<T, NR>(
-                nc, kc, [&](int j, int l) { return B(j0 + j, p0 + l); }, buf);
+                nc, kc, [&](int j, int l) { return B(j0 + j, p0 + l); }, buf,
+                tr);
             break;
         case Op::ConjTrans:
             detail::pack_strips<T, NR>(
                 nc, kc,
                 [&](int j, int l) { return conj_val(B(j0 + j, p0 + l)); },
-                buf);
+                buf, tr);
             break;
     }
 }

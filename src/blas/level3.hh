@@ -109,7 +109,8 @@ void herk(Uplo uplo, Op op, real_t<T> alpha, Tile<T> const& A,
         herk_naive(uplo, op, alpha, A, beta, C);
     else
         herk_blocked(uplo, op, alpha, A, beta, C);
-    kernel::count_flops(flops::syrk(n, k) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::syrk(n, k) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Triangular solve with multiple right-hand sides.
@@ -286,7 +287,8 @@ void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha,
         trsm_blocked(side, uplo, op, diag, alpha, A, B);
     kernel::count_flops((side == Side::Left ? flops::trsm_left(m, n)
                                             : flops::trsm_right(m, n))
-                        * (fma_flops<T>() / 2.0));
+                        * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 /// Triangular matrix-matrix multiply, left side only (all TBP call sites):
@@ -384,7 +386,8 @@ template <typename T>
 void trmm(Uplo uplo, Op op, Diag diag, T alpha, Tile<T> const& A,
           Tile<T> const& B) {
     trmm_dispatch(uplo, op, diag, alpha, A, B);
-    kernel::count_flops(flops::trmm(B.mb(), B.nb()) * (fma_flops<T>() / 2.0));
+    kernel::count_flops(flops::trmm(B.mb(), B.nb()) * (fma_flops<T>() / 2.0),
+                        prec::charge_prec<T>());
 }
 
 }  // namespace tbp::blas

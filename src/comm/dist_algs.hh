@@ -28,6 +28,7 @@
 #include "blas/level3.hh"
 #include "blas/util.hh"
 #include "comm/dist.hh"
+#include "common/precision.hh"
 #include "linalg/summa_step.hh"
 
 namespace tbp::comm {
@@ -515,7 +516,37 @@ struct DistQdwhInfo {
     int iterations = 0;
     double norm2_estimate = 0;
     double conv = 0;
+
+    // Precision-ladder accounting (dist_qdwh_adaptive; the fixed-precision
+    // drivers leave these at their native defaults). Per executed iteration:
+    // the rung it ran on and this rank's point-to-point traffic inside the
+    // iteration-branch region only (tile staging of the QR or Cholesky
+    // body — the convergence-norm allreduce and barrier are excluded, so a
+    // float-rung iteration's bytes are *exactly* sizeof(float-kind) /
+    // sizeof(native) times the native iteration's, with equal message
+    // counts; asserted in test_precision).
+    std::vector<prec::Prec> rungs;
+    std::vector<std::uint64_t> iter_bytes_sent;
+    std::vector<std::uint64_t> iter_msgs_sent;
 };
+
+/// Local element-wise precision conversion between conforming distributed
+/// matrices on the same grid (identical ownership, no communication).
+template <typename TS, typename TD>
+void dist_convert(DistMatrix<TS>& A, DistMatrix<TD>& B) {
+    tbp_require(A.mt() == B.mt() && A.nt() == B.nt());
+    for (int j = 0; j < A.nt(); ++j) {
+        for (int i = 0; i < A.mt(); ++i) {
+            if (!A.is_local(i, j))
+                continue;
+            auto s = A.tile(i, j);
+            auto d = B.tile(i, j);
+            for (int c = 0; c < s.nb(); ++c)
+                for (int r = 0; r < s.mb(); ++r)
+                    d(r, c) = static_cast<TD>(s(r, c));
+        }
+    }
+}
 
 /// Fully distributed QDWH (Cholesky-iteration variant) for square,
 /// reasonably conditioned matrices: the message-passing counterpart of the

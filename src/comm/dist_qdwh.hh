@@ -12,11 +12,147 @@
 
 #pragma once
 
+#include <memory>
+
 #include "comm/dist_qr.hh"
 #include "comm/dist_summa25.hh"
 #include "comm/grid3d.hh"
+#include "common/precision.hh"
+#include "core/precision_policy.hh"
 
 namespace tbp::comm {
+
+namespace detail {
+
+/// Distributed workspaces of one QDWH iteration in one scalar type — the
+/// message-passing analogue of tbp::detail::QdwhWorkspace.
+template <typename T>
+struct DistQdwhWork {
+    DistMatrix<T> Aprev, Z, W, Tm, Q;
+
+    DistQdwhWork(Communicator& c, std::int64_t m, std::int64_t n, int nb,
+                 Grid g)
+        : Aprev(c, m, n, nb, g),
+          Z(c, n, n, nb, g),
+          W(c, m + n, n, nb, g),
+          Tm(c, static_cast<std::int64_t>(W.mt()) * nb, n, nb, g),
+          Q(c, m + n, n, nb, g) {}
+};
+
+/// One distributed QDWH iteration (both branches): A := f_k(A) with weights
+/// (a, b, cc), leaving the entering iterate in w.Aprev. Extracted from
+/// dist_qdwh so the precision ladder can run it on a float shadow matrix
+/// set; `tag_base` advances by the same span on every rank and rung.
+template <typename T>
+void dist_qdwh_iter(Communicator& c, ProcGrid3d g3, DistMatrix<T>& A,
+                    DistQdwhWork<T>& w, double da, double db, double dcc,
+                    int& tag_base) {
+    using R = real_t<T>;
+    Grid const g = g3.layer();
+    int const mt = A.mt(), nt = A.nt();
+    R const a = static_cast<R>(da);
+    R const b = static_cast<R>(db);
+    R const cc = static_cast<R>(dcc);
+
+    dist_copy(A, w.Aprev);
+
+    if (dcc > 100.0) {
+        // --- QR-based iteration on the stacked matrix -----------------------
+        // W tiles in the top mt block rows share A's ownership map.
+        R const sq = std::sqrt(cc);
+        for (int j = 0; j < nt; ++j) {
+            for (int i = 0; i < w.W.mt(); ++i) {
+                if (!w.W.is_local(i, j))
+                    continue;
+                auto wt = w.W.tile(i, j);
+                if (i < mt) {
+                    blas::copy(A.tile(i, j), wt);
+                    blas::scale(from_real<T>(sq), wt);
+                } else {
+                    blas::set(T(0), (i - mt == j) ? T(1) : T(0), wt);
+                }
+            }
+        }
+        dist_geqrf(c, g, w.W, w.Tm);
+        dist_ungqr(c, g, w.W, w.Tm, w.Q);
+
+        // A := theta Q1 Q2^H + beta A (SUMMA over the shared column
+        // index l; Q1 = top mt block rows of Q, Q2 = the rest).
+        R const theta = (a - b / cc) / sq;
+        R const beta = b / cc;
+        if (g3.c > 1) {
+            // Replicated-layer trailing update; folds through
+            // la::summa_step_accumulate like the 2D loop below, so
+            // deterministic mode stays bit-identical to it.
+            summa_25d(c, g3, Op::ConjTrans, from_real<T>(theta), w.Q, w.Q, mt,
+                      from_real<T>(beta), A, tag_base);
+            tag_base += summa25_tag_span(mt, nt, nt);
+        } else {
+            for (int j = 0; j < nt; ++j)
+                for (int i = 0; i < mt; ++i)
+                    if (A.is_local(i, j))
+                        blas::scale(from_real<T>(beta), A.tile(i, j));
+            // Q is read-only during this SUMMA, so step l+1's panel
+            // broadcasts overlap step l's gemms (same double-buffered
+            // pipeline as dist_gemm; the legacy oracle stays blocking).
+            struct Step {
+                std::map<int, detail::PendingStage<T>> q1, q2;
+            };
+            auto stage_step = [&](int l) {
+                int const base = tag_base + l * (mt + nt);
+                Step st;
+                for (int i = 0; i < mt; ++i) {
+                    auto grp = row_group(g, i);
+                    bool const need = in_group(grp, c.rank());
+                    if (need || w.Q.owner(i, l) == c.rank()) {
+                        auto p = stage_tile_begin(c, w.Q, i, l, grp, base + i);
+                        if (need)
+                            st.q1[i] = std::move(p);
+                    }
+                }
+                for (int j = 0; j < nt; ++j) {
+                    auto grp = col_group(g, j);
+                    bool const need = in_group(grp, c.rank());
+                    if (need || w.Q.owner(mt + j, l) == c.rank()) {
+                        auto p = stage_tile_begin(c, w.Q, mt + j, l, grp,
+                                                  base + mt + j);
+                        if (need)
+                            st.q2[j] = std::move(p);
+                    }
+                }
+                return st;
+            };
+            bool const pipelined = !c.coll_config().legacy;
+            Step cur = stage_step(0);
+            for (int l = 0; l < nt; ++l) {
+                Step next;
+                if (pipelined && l + 1 < nt)
+                    next = stage_step(l + 1);
+                for (int j = 0; j < nt; ++j)
+                    for (int i = 0; i < mt; ++i)
+                        if (A.is_local(i, j))
+                            la::summa_step_accumulate(
+                                Op::NoTrans, Op::ConjTrans,
+                                from_real<T>(theta), cur.q1[i].ready().tile(),
+                                cur.q2[j].ready().tile(), A.tile(i, j));
+                if (!pipelined && l + 1 < nt)
+                    next = stage_step(l + 1);
+                cur = std::move(next);
+            }
+            tag_base += summa25_tag_span(mt, nt, nt);
+        }
+    } else {
+        // --- Cholesky-based iteration (Eq. 2) -------------------------------
+        dist_set_identity(w.Z);
+        dist_herk(c, g, cc, A, R(1), w.Z);
+        dist_potrf(c, g, w.Z);
+        dist_trsm_right_lower(c, g, Op::ConjTrans, w.Z, A);
+        dist_trsm_right_lower(c, g, Op::NoTrans, w.Z, A);
+        dist_add(w.Aprev, from_real<T>(b / cc), from_real<T>(a - b / cc), A);
+    }
+}
+
+}  // namespace detail
 
 /// Distributed QDWH: A (m x n tiles, m >= n, m % nb == 0) is overwritten by
 /// U_p. l0 is a lower bound on sigma_min(A)/sigma_max(A). Every rank
@@ -52,11 +188,7 @@ DistQdwhInfo dist_qdwh(Communicator& c, ProcGrid3d g3, DistMatrix<T>& A,
             if (A.is_local(i, j))
                 blas::scale(from_real<T>(R(1) / alpha), A.tile(i, j));
 
-    DistMatrix<T> Aprev(c, A.m(), A.n(), nb, g);
-    DistMatrix<T> Z(c, A.n(), A.n(), nb, g);
-    DistMatrix<T> W(c, A.m() + A.n(), A.n(), nb, g);
-    DistMatrix<T> Tm(c, static_cast<std::int64_t>(W.mt()) * nb, A.n(), nb, g);
-    DistMatrix<T> Q(c, A.m() + A.n(), A.n(), nb, g);
+    detail::DistQdwhWork<T> w(c, A.m(), A.n(), nb, g);
 
     R li = std::min(std::max(static_cast<R>(l0),
                              std::numeric_limits<R>::min() * R(100)),
@@ -77,105 +209,132 @@ DistQdwhInfo dist_qdwh(Communicator& c, ProcGrid3d g3, DistMatrix<T>& A,
         R const cc = a + b - R(1);
         li = li * (a + b * l2) / (R(1) + cc * l2);
 
-        dist_copy(A, Aprev);
+        // Branch-region traffic snapshot, mirroring dist_qdwh_adaptive so
+        // per-iteration counters are comparable across the two drivers.
+        CommStats const s0 = c.stats();
+        detail::dist_qdwh_iter(c, g3, A, w, static_cast<double>(a),
+                               static_cast<double>(b),
+                               static_cast<double>(cc), tag_base);
+        CommStats const s1 = c.stats();
+        info.iter_bytes_sent.push_back(s1.bytes_sent - s0.bytes_sent);
+        info.iter_msgs_sent.push_back(s1.sends - s0.sends);
 
-        if (cc > R(100)) {
-            // --- QR-based iteration on the stacked matrix -------------------
-            // W tiles in the top mt block rows share A's ownership map.
-            R const sq = std::sqrt(cc);
-            for (int j = 0; j < nt; ++j) {
-                for (int i = 0; i < W.mt(); ++i) {
-                    if (!W.is_local(i, j))
-                        continue;
-                    auto w = W.tile(i, j);
-                    if (i < mt) {
-                        blas::copy(A.tile(i, j), w);
-                        blas::scale(from_real<T>(sq), w);
-                    } else {
-                        blas::set(T(0), (i - mt == j) ? T(1) : T(0), w);
-                    }
-                }
-            }
-            dist_geqrf(c, g, W, Tm);
-            dist_ungqr(c, g, W, Tm, Q);
+        dist_add(A, T(1), T(-1), w.Aprev);
+        conv = dist_norm_fro(c, w.Aprev);
+        info.rungs.push_back(prec::native_prec<T>());
+        ++info.iterations;
+        c.barrier();
+    }
+    info.conv = static_cast<double>(conv);
+    return info;
+}
 
-            // A := theta Q1 Q2^H + beta A (SUMMA over the shared column
-            // index l; Q1 = top mt block rows of Q, Q2 = the rest).
-            R const theta = (a - b / cc) / sq;
-            R const beta = b / cc;
-            if (g3.c > 1) {
-                // Replicated-layer trailing update; folds through
-                // la::summa_step_accumulate like the 2D loop below, so
-                // deterministic mode stays bit-identical to it.
-                summa_25d(c, g3, Op::ConjTrans, from_real<T>(theta), Q, Q, mt,
-                          from_real<T>(beta), A, tag_base);
-                tag_base += summa25_tag_span(mt, nt, nt);
-            } else {
-            for (int j = 0; j < nt; ++j)
-                for (int i = 0; i < mt; ++i)
-                    if (A.is_local(i, j))
-                        blas::scale(from_real<T>(beta), A.tile(i, j));
-            // Q is read-only during this SUMMA, so step l+1's panel
-            // broadcasts overlap step l's gemms (same double-buffered
-            // pipeline as dist_gemm; the legacy oracle stays blocking).
-            struct Step {
-                std::map<int, detail::PendingStage<T>> q1, q2;
-            };
-            auto stage_step = [&](int l) {
-                int const base = tag_base + l * (mt + nt);
-                Step st;
-                for (int i = 0; i < mt; ++i) {
-                    auto grp = row_group(g, i);
-                    bool const need = in_group(grp, c.rank());
-                    if (need || Q.owner(i, l) == c.rank()) {
-                        auto p = stage_tile_begin(c, Q, i, l, grp, base + i);
-                        if (need)
-                            st.q1[i] = std::move(p);
-                    }
-                }
-                for (int j = 0; j < nt; ++j) {
-                    auto grp = col_group(g, j);
-                    bool const need = in_group(grp, c.rank());
-                    if (need || Q.owner(mt + j, l) == c.rank()) {
-                        auto p = stage_tile_begin(c, Q, mt + j, l, grp,
-                                                  base + mt + j);
-                        if (need)
-                            st.q2[j] = std::move(p);
-                    }
-                }
-                return st;
-            };
-            bool const pipelined = !c.coll_config().legacy;
-            Step cur = stage_step(0);
-            for (int l = 0; l < nt; ++l) {
-                Step next;
-                if (pipelined && l + 1 < nt)
-                    next = stage_step(l + 1);
-                for (int j = 0; j < nt; ++j)
-                    for (int i = 0; i < mt; ++i)
-                        if (A.is_local(i, j))
-                            la::summa_step_accumulate(
-                                Op::NoTrans, Op::ConjTrans,
-                                from_real<T>(theta), cur.q1[i].ready().tile(),
-                                cur.q2[j].ready().tile(), A.tile(i, j));
-                if (!pipelined && l + 1 < nt)
-                    next = stage_step(l + 1);
-                cur = std::move(next);
-            }
-            tag_base += summa25_tag_span(mt, nt, nt);
-            }
+/// Distributed QDWH with the adaptive precision ladder: the same iteration
+/// stream as dist_qdwh, but each iteration's branch body runs on a float
+/// shadow matrix set when its planned rung is low — every staged tile
+/// payload (panel broadcasts, SUMMA steps, trsm columns) ships
+/// sizeof(float-kind) bytes per element instead of sizeof(native), exactly
+/// halving the double-kind branch-region communication volume with an
+/// unchanged message count and tag stream.
+///
+/// The rung schedule is prec::plan_rungs of (l0, tol1, max_iter, pol) — a
+/// pure double computation every rank performs identically, so no rank ever
+/// disagrees about payload element types. There is no fallback promotion in
+/// the distributed driver (a mid-iteration rung switch would desynchronize
+/// posted receives); a non-finite low-rung iterate is a hard error here,
+/// and the convergence norm runs natively each iteration regardless of
+/// rung. Iterates entering and leaving a low iteration convert locally
+/// (zero communication). Every rank returns identical info scalars; the
+/// per-iteration traffic vectors are this rank's own counts.
+template <typename T>
+DistQdwhInfo dist_qdwh_adaptive(Communicator& c, ProcGrid3d g3,
+                                DistMatrix<T>& A, double l0,
+                                prec::PrecisionPolicy const& pol,
+                                int max_iter = 30) {
+    using R = real_t<T>;
+    using S = prec::shadow_t<T>;
+    prec::Prec const native = prec::native_prec<T>();
+    Grid const g = g3.layer();
+    tbp_require(c.size() == g3.size());
+    int const mt = A.mt(), nt = A.nt();
+    int const nb = A.tile_nb(0);
+    tbp_require(A.m() >= A.n());
+    tbp_require(A.tile_mb(mt - 1) == A.tile_mb(0));  // m % nb == 0
+    (void)nt;
+
+    DistQdwhInfo info;
+    R const eps = std::numeric_limits<R>::epsilon();
+    R const tol3 = std::cbrt(R(5) * eps);
+    double const tol1 = 5.0 * static_cast<double>(eps);
+
+    R const alpha = dist_norm2est(c, A);
+    info.norm2_estimate = static_cast<double>(alpha);
+    tbp_require(alpha > R(0));
+    for (int j = 0; j < A.nt(); ++j)
+        for (int i = 0; i < mt; ++i)
+            if (A.is_local(i, j))
+                blas::scale(from_real<T>(R(1) / alpha), A.tile(i, j));
+
+    double li = std::min(
+        std::max(l0, static_cast<double>(std::numeric_limits<R>::min())
+                         * 100.0),
+        1.0);
+    auto const plan = prec::plan_rungs(li, tol1, max_iter, pol, native);
+
+    detail::DistQdwhWork<T> w(c, A.m(), A.n(), nb, g);
+
+    // Shadow iterate + workspaces, allocated on first low-rung use.
+    std::unique_ptr<DistMatrix<S>> As;
+    std::unique_ptr<detail::DistQdwhWork<S>> sw;
+    auto ensure_shadow = [&] {
+        if (As)
+            return;
+        As = std::make_unique<DistMatrix<S>>(c, A.m(), A.n(), nb, g);
+        sw = std::make_unique<detail::DistQdwhWork<S>>(c, A.m(), A.n(), nb, g);
+    };
+
+    R conv = R(100);
+    int tag_base = 1 << 26;
+
+    while ((conv >= tol3 || std::abs(li - 1.0) >= tol1)
+           && info.iterations < max_iter) {
+        std::size_t const k = static_cast<std::size_t>(info.iterations);
+        prec::QdwhWeights const pw = prec::qdwh_weights(li);
+        li = pw.li_next;
+        prec::Prec const rung = k < plan.size() ? plan[k].rung : native;
+
+        // Branch-region traffic snapshot (staging only; the conv allreduce
+        // and barrier below are outside the delta).
+        CommStats const s0 = c.stats();
+        if (rung == native) {
+            detail::dist_qdwh_iter(c, g3, A, w, pw.a, pw.b, pw.c, tag_base);
         } else {
-            // --- Cholesky-based iteration (Eq. 2) ---------------------------
-            dist_set_identity(Z);
-            dist_herk(c, g, cc, A, R(1), Z);
-            dist_potrf(c, g, Z);
-            dist_trsm_right_lower(c, g, Op::ConjTrans, Z, A);
-            dist_trsm_right_lower(c, g, Op::NoTrans, Z, A);
-            dist_add(Aprev, from_real<T>(b / cc), from_real<T>(a - b / cc), A);
+            ensure_shadow();
+            dist_copy(A, w.Aprev);      // native entering iterate, for conv
+            dist_convert(A, *As);       // local, no messages
+            {
+                // Bf16 packs gemm operands at the blas level on each rank's
+                // own thread — install the exec-side mode directly.
+                prec::ExecModeScope mode_scope(
+                    rung == prec::Prec::Bf16
+                        ? (pol.compensated ? prec::GemmMode::Bf16Comp
+                                           : prec::GemmMode::Bf16)
+                        : prec::GemmMode::Native);
+                detail::dist_qdwh_iter(c, g3, *As, *sw, pw.a, pw.b, pw.c,
+                                       tag_base);
+            }
+            dist_convert(*As, A);       // local, no messages
         }
+        CommStats const s1 = c.stats();
+        info.rungs.push_back(rung);
+        info.iter_bytes_sent.push_back(s1.bytes_sent - s0.bytes_sent);
+        info.iter_msgs_sent.push_back(s1.sends - s0.sends);
 
-        dist_add(A, T(1), T(-1), Aprev);
-        conv = dist_norm_fro(c, Aprev);
+        dist_add(A, T(1), T(-1), w.Aprev);
+        conv = dist_norm_fro(c, w.Aprev);
+        if (!std::isfinite(static_cast<double>(conv)))
+            tbp_throw("dist_qdwh_adaptive: non-finite iterate (no fallback "
+                      "in the distributed driver)");
         ++info.iterations;
         c.barrier();
     }

@@ -26,15 +26,19 @@
 
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "blas/kernel/stats.hh"
 #include "comm/grid3d.hh"
 #include "common/error.hh"
+#include "common/precision.hh"
 #include "common/types.hh"
 #include "cond/condest.hh"
 #include "cond/norm2est.hh"
+#include "core/precision_policy.hh"
 #include "device/executor.hh"
 #include "linalg/gemm.hh"
 #include "linalg/geqrf.hh"
@@ -81,6 +85,17 @@ struct QdwhOptions {
     /// Explicit 2.5D replication depth c (> 1 forces that many layers);
     /// 0 = derive from comm_plan.
     int repl = 0;
+    /// Precision-ladder policy (core/precision_policy.hh). Native keeps the
+    /// pre-ladder single-precision-type loop; Float/Bf16/Adaptive run
+    /// admissible iterations on lower rungs with a native tail and native H
+    /// polish, promoting a failed low-precision Cholesky iterate one rung
+    /// up instead of aborting.
+    prec::PrecisionPolicy precision;
+    /// Model device staging streams in the batched executor (BatchedHost
+    /// only). The service layer turns this off: its jobs run on private
+    /// sequential engines where stream modeling is pure bookkeeping
+    /// overhead on small matrices.
+    bool model_streams = true;
 };
 
 struct QdwhInfo {
@@ -101,12 +116,28 @@ struct QdwhInfo {
     double coalescing = 1.0;         ///< tile_ops / engine_tasks
     double stream_h2d_bytes = 0;     ///< modeled device staging volume
     double stream_overlap = 1.0;     ///< modeled copy/compute overlap
+
+    // Precision-ladder accounting. The plain (native) path reports every
+    // iteration at the native rung.
+    std::vector<prec::Prec> rungs;  ///< executed rung per iteration
+    int fallbacks = 0;  ///< low-rung attempts re-run one rung up
+    /// Measured kernel-counter deltas (blas::kernel::flops_performed per
+    /// bucket) over the iteration loop + H stage — the quantity the
+    /// precision-aware cost model reproduces exactly. Valid only when no
+    /// concurrent kernel activity shares the process-global counters.
+    std::array<double, prec::kNumPrec> kernel_flops_by_prec{};
+    /// False when a mid-flight fallback discarded a partially executed
+    /// iteration's charges (the model cannot replay partial poisoned DAGs).
+    bool kernel_flops_exact = true;
 };
 
 namespace detail {
 template <typename Ex, typename T>
 Status qdwh_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, QdwhInfo& info,
                  QdwhOptions const& opts);
+template <typename Ex, typename T>
+Status qdwh_ladder_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                        QdwhInfo& info, QdwhOptions const& opts);
 }  // namespace detail
 
 /// Status-returning polar decomposition A = U_p H by QDWH (the batched
@@ -129,16 +160,20 @@ Status qdwh_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
     if (opts.max_iter < 1)
         return Status::InvalidArgument;
 
+    bool const ladder =
+        prec::ladder_engaged(opts.precision.request, prec::native_prec<T>());
     try {
         if (opts.target == dev::Target::BatchedHost) {
             dev::ExecOptions eo;
             eo.target = dev::Target::BatchedHost;
             eo.max_batch = opts.max_batch;
+            eo.model_streams = opts.model_streams;
             eo.tile_bytes = static_cast<std::size_t>(A.tile_mb(0))
                             * static_cast<std::size_t>(A.tile_nb(0))
                             * sizeof(T);
             dev::Executor ex(eng, eo);
-            Status const s = detail::qdwh_impl(ex, A, H, info, opts);
+            Status const s = ladder ? detail::qdwh_ladder_impl(ex, A, H, info, opts)
+                                    : detail::qdwh_impl(ex, A, H, info, opts);
             auto const& bs = ex.batch_stats();
             info.tile_ops = bs.ops;
             info.engine_tasks = bs.tasks;
@@ -147,7 +182,8 @@ Status qdwh_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
             info.stream_overlap = ex.stream_stats().overlap_fraction();
             return s;
         }
-        return detail::qdwh_impl(eng, A, H, info, opts);
+        return ladder ? detail::qdwh_ladder_impl(eng, A, H, info, opts)
+                      : detail::qdwh_impl(eng, A, H, info, opts);
     } catch (Error const&) {
         // A task-level numerical failure (e.g. a non-HPD Cholesky pivot)
         // surfaced at a synchronization point. Quiesce so the engine is
@@ -161,6 +197,96 @@ Status qdwh_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
 }
 
 namespace detail {
+
+/// Iteration workspaces for one scalar type. The ladder allocates a second
+/// bundle in the shadow (float) type next to the native one; the plain path
+/// allocates exactly what qdwh_impl always allocated.
+template <typename T>
+struct QdwhWorkspace {
+    TiledMatrix<T> W;   ///< stacked [W1; W2], (m + n) x n
+    TiledMatrix<T> Q;   ///< stacked [Q1; Q2]
+    TiledMatrix<T> Tw;  ///< QR T factors of W
+    TiledMatrix<T> Z;   ///< Cholesky operand, n x n
+
+    QdwhWorkspace() = default;
+    QdwhWorkspace(std::vector<int> const& row_sizes,
+                  std::vector<int> const& col_sizes, Grid grid) {
+        std::vector<int> w_rows = row_sizes;
+        w_rows.insert(w_rows.end(), col_sizes.begin(), col_sizes.end());
+        W = TiledMatrix<T>(w_rows, col_sizes, grid);
+        Q = TiledMatrix<T>(w_rows, col_sizes, grid);
+        Tw = la::alloc_qr_t(W);
+        Z = TiledMatrix<T>(col_sizes, col_sizes, grid);
+    }
+    bool empty() const { return W.empty(); }
+};
+
+/// One QR-based iteration (Eq. 1, Algorithm 1 lines 30-36): reads cur,
+/// writes A_k into oth; ws provides the stacked W/Q/T scratch. The weights
+/// arrive in double (the planning precision) and are applied in R.
+template <typename Ex, typename T>
+void qdwh_qr_iter(Ex& eng, double a, double b, double c, TiledMatrix<T>& cur,
+                  TiledMatrix<T>& oth, QdwhWorkspace<T>& ws, int mt, int nt,
+                  bool structured, int lookahead) {
+    using R = real_t<T>;
+    TiledMatrix<T> W1 = ws.W.sub(0, 0, mt, nt);
+    TiledMatrix<T> W2 = ws.W.sub(mt, 0, nt, nt);
+    TiledMatrix<T> Q1 = ws.Q.sub(0, 0, mt, nt);
+    TiledMatrix<T> Q2 = ws.Q.sub(mt, 0, nt, nt);
+    la::copy(eng, cur, W1);
+    la::scale(eng, from_real<T>(static_cast<R>(std::sqrt(c))), W1);
+    R const theta = static_cast<R>((a - b / c) / std::sqrt(c));
+    R const beta = static_cast<R>(b / c);
+    if (structured) {
+        la::geqrf_stacked_tri(eng, ws.W, mt, T(1), ws.Tw, lookahead);
+        la::ungqr_stacked_tri(eng, ws.W, mt, ws.Tw, ws.Q);
+        // Q2 = R^{-1} is block upper triangular; the out-of-place
+        // triangular gemm writes A_k while A_{k-1} survives in cur.
+        la::gemm_rt_upper(eng, from_real<T>(theta), Q1, Q2,
+                          from_real<T>(beta), cur, oth);
+    } else {
+        la::set_identity(eng, W2);
+        la::geqrf(eng, ws.W, ws.Tw, lookahead);
+        la::ungqr(eng, ws.W, ws.Tw, ws.Q);
+        la::copy(eng, cur, oth);
+        la::gemm(eng, Op::NoTrans, Op::ConjTrans, from_real<T>(theta), Q1, Q2,
+                 from_real<T>(beta), oth);
+    }
+}
+
+/// One Cholesky-based iteration (Eq. 2, lines 38-44): reads cur, writes
+/// A_k into oth. Throws tbp::Error (surfaced at a sync point) if the
+/// Cholesky operand is not numerically HPD — the ladder's fallback trigger.
+template <typename Ex, typename T>
+void qdwh_chol_iter(Ex& eng, double a, double b, double c,
+                    TiledMatrix<T>& cur, TiledMatrix<T>& oth,
+                    QdwhWorkspace<T>& ws, int lookahead) {
+    using R = real_t<T>;
+    la::copy(eng, cur, oth);
+    la::set_identity(eng, ws.Z);
+    la::herk(eng, Uplo::Lower, Op::ConjTrans, static_cast<R>(c), cur, R(1),
+             ws.Z);
+    la::potrf(eng, Uplo::Lower, ws.Z, lookahead);
+    la::trsm(eng, Side::Right, Uplo::Lower, Op::ConjTrans, Diag::NonUnit,
+             T(1), ws.Z, oth);
+    la::trsm(eng, Side::Right, Uplo::Lower, Op::NoTrans, Diag::NonUnit, T(1),
+             ws.Z, oth);
+    // A_k = (b/c) A_{k-1} + (a - b/c) A_{k-1} Z^{-1}
+    la::add(eng, from_real<T>(static_cast<R>(b / c)), cur,
+            from_real<T>(static_cast<R>(a - b / c)), oth);
+}
+
+/// H = U_p^H A0 (+ optional Hermitian symmetrization), Algorithm 1 line 52.
+template <typename Ex, typename T>
+void qdwh_h_stage(Ex& eng, TiledMatrix<T>& U, TiledMatrix<T>& Acpy,
+                  TiledMatrix<T>& H, bool symmetrize) {
+    la::gemm(eng, Op::ConjTrans, Op::NoTrans, T(1), U, Acpy, T(0), H);
+    if (symmetrize) {
+        TiledMatrix<T> Ht(H.row_tile_sizes(), H.col_tile_sizes(), H.grid());
+        la::transpose_copy(eng, Op::ConjTrans, H, Ht);
+        la::add(eng, T(0.5), Ht, T(0.5), H);
+    }
+}
 
 /// Body of qdwh_status after validation; may throw tbp::Error from task
 /// synchronization points (caught and mapped by qdwh_status). `Ex` is
@@ -187,16 +313,8 @@ Status qdwh_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, QdwhInfo& info,
     // A_{k-2}, so no per-iteration Aprev copy sweep is needed.
     TiledMatrix<T> Acpy = A.clone();  // backup of the *unscaled* A, for H
     TiledMatrix<T> Aalt(row_sizes, col_sizes, A.grid());
-    std::vector<int> w_rows = row_sizes;
-    w_rows.insert(w_rows.end(), col_sizes.begin(), col_sizes.end());
-    TiledMatrix<T> W(w_rows, col_sizes, A.grid());   // stacked [W1; W2]
-    TiledMatrix<T> Q(w_rows, col_sizes, A.grid());   // stacked [Q1; Q2]
-    TiledMatrix<T> Tw = la::alloc_qr_t(W);
-    TiledMatrix<T> Z(col_sizes, col_sizes, A.grid());  // Cholesky operand
-    TiledMatrix<T> W1 = W.sub(0, 0, mt, nt);
-    TiledMatrix<T> W2 = W.sub(mt, 0, nt, nt);
-    TiledMatrix<T> Q1 = Q.sub(0, 0, mt, nt);
-    TiledMatrix<T> Q2 = Q.sub(mt, 0, nt, nt);
+    QdwhWorkspace<T> ws(row_sizes, col_sizes, A.grid());
+    TiledMatrix<T> W1 = ws.W.sub(0, 0, mt, nt);
 
     // --- Stage 1: two-norm estimate and scaling (lines 11-13) ------------
     R const alpha = cond::norm2est(eng, A);
@@ -217,7 +335,7 @@ Status qdwh_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, QdwhInfo& info,
     } else {
         R const anorm = la::norm(eng, Norm::One, A);
         la::copy(eng, A, W1);
-        la::geqrf(eng, W1, Tw.sub(0, 0, mt, nt), opts.lookahead);
+        la::geqrf(eng, W1, ws.Tw.sub(0, 0, mt, nt), opts.lookahead);
         eng.wait();
         R const rcond = cond::trcondest(eng, W1);
         li = anorm * rcond / std::sqrt(static_cast<R>(n));
@@ -230,6 +348,14 @@ Status qdwh_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, QdwhInfo& info,
     info.condest_l0 = static_cast<double>(li);
 
     // --- Stage 3: main iteration (lines 21-50) ----------------------------
+    // Per-precision measured-counter snapshot: every preceding charging op
+    // (norm2est's gemvs, the condest QR) has synchronized, and the ops
+    // still in flight (scale) charge nothing, so the deltas taken at the
+    // end cover exactly the iteration loop + H stage.
+    std::array<double, prec::kNumPrec> kf0{};
+    for (int p = 0; p < prec::kNumPrec; ++p)
+        kf0[static_cast<std::size_t>(p)] =
+            blas::kernel::flops_performed(static_cast<prec::Prec>(p));
     R conv = R(100);
     // Buffer rotation: `cur` holds A_{k-1}, the iteration writes A_k into
     // `oth`, the convergence check reads both, then the roles swap.
@@ -254,42 +380,19 @@ Status qdwh_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, QdwhInfo& info,
 
         if (c > R(100)) {
             // QR-based iteration, Eq. (1) (lines 30-36).
-            la::copy(eng, *cur, W1);
-            la::scale(eng, from_real<T>(std::sqrt(c)), W1);
-            R const theta = (a - b / c) / std::sqrt(c);
-            R const beta = b / c;
-            if (opts.structured_qr) {
-                la::geqrf_stacked_tri(eng, W, mt, T(1), Tw, opts.lookahead);
-                la::ungqr_stacked_tri(eng, W, mt, Tw, Q);
-                // Q2 = R^{-1} is block upper triangular; the out-of-place
-                // triangular gemm writes A_k while A_{k-1} survives in cur.
-                la::gemm_rt_upper(eng, from_real<T>(theta), Q1, Q2,
-                                  from_real<T>(beta), *cur, *oth);
-            } else {
-                la::set_identity(eng, W2);
-                la::geqrf(eng, W, Tw, opts.lookahead);
-                la::ungqr(eng, W, Tw, Q);
-                la::copy(eng, *cur, *oth);
-                la::gemm(eng, Op::NoTrans, Op::ConjTrans, from_real<T>(theta),
-                         Q1, Q2, from_real<T>(beta), *oth);
-            }
+            qdwh_qr_iter(eng, static_cast<double>(a), static_cast<double>(b),
+                         static_cast<double>(c), *cur, *oth, ws, mt, nt,
+                         opts.structured_qr, opts.lookahead);
             ++info.it_qr;
         } else {
             // Cholesky-based iteration, Eq. (2) (lines 38-44). The solves
             // run on the rotation buffer so A_{k-1} stays intact in cur.
-            la::copy(eng, *cur, *oth);
-            la::set_identity(eng, Z);
-            la::herk(eng, Uplo::Lower, Op::ConjTrans, c, *cur, R(1), Z);
-            la::potrf(eng, Uplo::Lower, Z, opts.lookahead);
-            la::trsm(eng, Side::Right, Uplo::Lower, Op::ConjTrans,
-                     Diag::NonUnit, T(1), Z, *oth);
-            la::trsm(eng, Side::Right, Uplo::Lower, Op::NoTrans,
-                     Diag::NonUnit, T(1), Z, *oth);
-            // A_k = (b/c) A_{k-1} + (a - b/c) A_{k-1} Z^{-1}
-            la::add(eng, from_real<T>(b / c), *cur,
-                    from_real<T>(a - b / c), *oth);
+            qdwh_chol_iter(eng, static_cast<double>(a),
+                           static_cast<double>(b), static_cast<double>(c),
+                           *cur, *oth, ws, opts.lookahead);
             ++info.it_chol;
         }
+        info.rungs.push_back(prec::native_prec<T>());
 
         // conv = ||A_k - A_{k-1}||_F (lines 47-48): one fused read-only
         // sweep over both buffers instead of add + destructive norm.
@@ -310,21 +413,24 @@ Status qdwh_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, QdwhInfo& info,
     info.converged = true;
 
     // --- Stage 4: H = U_p^H A (line 52) -----------------------------------
-    if (opts.compute_h) {
-        la::gemm(eng, Op::ConjTrans, Op::NoTrans, T(1), A, Acpy, T(0), H);
-        if (opts.symmetrize_h) {
-            TiledMatrix<T> Ht(col_sizes, col_sizes, A.grid());
-            la::transpose_copy(eng, Op::ConjTrans, H, Ht);
-            la::add(eng, T(0.5), Ht, T(0.5), H);
-        }
-    }
+    if (opts.compute_h)
+        qdwh_h_stage(eng, A, Acpy, H, opts.symmetrize_h);
     eng.wait();
 
+    for (int p = 0; p < prec::kNumPrec; ++p)
+        info.kernel_flops_by_prec[static_cast<std::size_t>(p)] =
+            blas::kernel::flops_performed(static_cast<prec::Prec>(p))
+            - kf0[static_cast<std::size_t>(p)];
     info.flops = eng.flops_executed() - flops0;
     return Status::Ok;
 }
 
 }  // namespace detail
+
+// The precision-ladder driver (detail::qdwh_ladder_impl) lives in its own
+// header but is an internal continuation of this one: it reuses the
+// iteration bodies above and is dispatched from qdwh_status.
+#include "core/qdwh_ladder.hh"  // IWYU pragma: keep
 
 /// Polar decomposition A = U_p H by QDWH. A (m x n, m >= n) is overwritten
 /// by U_p. If opts.compute_h, H must be n-by-n with A's column tile sizes.

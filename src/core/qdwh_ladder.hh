@@ -1,0 +1,241 @@
+// Adaptive precision-ladder QDWH driver (internal continuation of
+// core/qdwh.hh — include that header, not this one).
+//
+// The loop structure mirrors detail::qdwh_impl exactly; what changes is
+// *where* each iteration's flops run. A pre-computed rung plan
+// (prec::plan_rungs, a pure function of the condition estimate l0) assigns
+// every iteration to simulated-bf16, float, or the native type:
+//
+//   native rung — the iteration body runs on the native buffers, exactly
+//                 as in qdwh_impl.
+//   float rung  — the entering iterate converts into a float shadow
+//                 workspace, the body runs there (every QR/Cholesky flop in
+//                 float, half the memory traffic), and the result converts
+//                 back. The two O(n^2) conversion sweeps are the price for
+//                 O(n^3) iteration flops at the float rate.
+//   bf16 rung   — the float-rung body under an active bf16 gemm mode:
+//                 pack-time truncation of every gemm operand to bf16 with
+//                 fp32 accumulation (see blas/kernel/gemm.hh), optionally
+//                 compensated.
+//
+// The l recurrence itself runs in double (prec::qdwh_weights — the same
+// pure function the plan and the cost model use), so the executed schedule
+// is deterministic at fixed inputs and identical across execution targets
+// and process grids.
+//
+// Fallback: a low-precision Cholesky iteration whose operand loses
+// numerical positive definiteness throws from potrf; the error surfaces at
+// the convergence-norm sync, the engine quiesces, and the iteration re-runs
+// one rung up from the *intact* native iterate (bodies only write the
+// shadow and `oth` buffers). A native-rung failure is terminal, exactly as
+// in qdwh_impl. Promotions are recorded in info.fallbacks, and a fallback
+// that discarded partially executed work clears info.kernel_flops_exact
+// (the cost model cannot replay a poisoned half-iteration's charges).
+//
+// Accuracy: the final planned iterations and every conv-driven straggler
+// run native (policy tail_native >= 1 by default), and one native Halley
+// step cubes the float-level error (1e-7^3 << eps64), so the loop exits at
+// native orthogonality; H = U^H A is computed natively from the original A.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+// Opened relative on purpose: this header is textually included from inside
+// namespace tbp (core/qdwh.hh), so `detail` resolves to tbp::detail.
+namespace detail {
+
+template <typename T>
+using qdwh_shadow_t = prec::shadow_t<T>;
+
+template <typename Ex, typename T>
+Status qdwh_ladder_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                        QdwhInfo& info, QdwhOptions const& opts) {
+    using R = real_t<T>;
+    using S = qdwh_shadow_t<T>;
+    prec::Prec const native = prec::native_prec<T>();
+    prec::PrecisionPolicy const& pol = opts.precision;
+
+    std::int64_t const n = A.n();
+    double const flops0 = eng.flops_executed();
+
+    R const eps = std::numeric_limits<R>::epsilon();
+    R const tol1 = R(5) * eps;
+    R const tol3 = std::cbrt(tol1);
+
+    int const mt = A.mt();
+    int const nt = A.nt();
+    auto const row_sizes = A.row_tile_sizes();
+    auto const col_sizes = A.col_tile_sizes();
+
+    eng.wait();  // quiesce pending caller tasks: clone() reads tiles directly
+    TiledMatrix<T> Acpy = A.clone();  // backup of the *unscaled* A, for H
+    TiledMatrix<T> Aalt(row_sizes, col_sizes, A.grid());
+    QdwhWorkspace<T> ws(row_sizes, col_sizes, A.grid());
+    TiledMatrix<T> W1 = ws.W.sub(0, 0, mt, nt);
+
+    // --- Stage 1: two-norm estimate and scaling (native) ------------------
+    R const alpha = cond::norm2est(eng, A);
+    if (alpha == R(0)) {
+        info.flops = eng.flops_executed() - flops0;
+        return Status::ZeroMatrix;
+    }
+    info.norm2_estimate = static_cast<double>(alpha);
+    la::scale(eng, from_real<T>(R(1) / alpha), A);
+
+    // --- Stage 2: condition estimate (native) -----------------------------
+    R li_est;
+    if (opts.condest_override > 0) {
+        li_est = static_cast<R>(opts.condest_override);
+    } else {
+        R const anorm = la::norm(eng, Norm::One, A);
+        la::copy(eng, A, W1);
+        la::geqrf(eng, W1, ws.Tw.sub(0, 0, mt, nt), opts.lookahead);
+        eng.wait();
+        R const rcond = cond::trcondest(eng, W1);
+        li_est = anorm * rcond / std::sqrt(static_cast<R>(n));
+    }
+    R const li_floor = std::numeric_limits<R>::min() * R(100);
+    li_est = std::min(std::max(li_est, li_floor), R(1));
+    info.condest_l0 = static_cast<double>(li_est);
+
+    // The l recurrence runs in double from here on — the single source of
+    // the deterministic rung schedule (shared with plan_rungs and the
+    // precision cost model).
+    double li = static_cast<double>(li_est);
+    auto const plan = prec::plan_rungs(li, static_cast<double>(tol1),
+                                       opts.max_iter, pol, native);
+
+    // Shadow workspaces, allocated on first low-rung use (a well-conditioned
+    // run whose plan is empty never pays for them).
+    TiledMatrix<S> Scur, Soth;
+    QdwhWorkspace<S> sws;
+    auto ensure_shadow = [&] {
+        if (!Scur.empty())
+            return;
+        Scur = TiledMatrix<S>(row_sizes, col_sizes, A.grid());
+        Soth = TiledMatrix<S>(row_sizes, col_sizes, A.grid());
+        sws = QdwhWorkspace<S>(row_sizes, col_sizes, A.grid());
+    };
+
+    // --- Stage 3: main iteration ------------------------------------------
+    // Measured-counter snapshot; see qdwh_impl for the region contract.
+    std::array<double, prec::kNumPrec> kf0{};
+    for (int p = 0; p < prec::kNumPrec; ++p)
+        kf0[static_cast<std::size_t>(p)] =
+            blas::kernel::flops_performed(static_cast<prec::Prec>(p));
+
+    R conv = R(100);
+    TiledMatrix<T>* cur = &A;
+    TiledMatrix<T>* oth = &Aalt;
+    bool forced_fallback_done = false;
+
+    while ((conv >= tol3 || std::abs(li - 1.0) >= static_cast<double>(tol1))
+           && info.iterations < opts.max_iter) {
+        std::size_t const k = static_cast<std::size_t>(info.iterations);
+        prec::QdwhWeights const w = prec::qdwh_weights(li);
+        li = w.li_next;
+        info.li_history.push_back(li);
+        prec::Prec rung = k < plan.size() ? plan[k].rung : native;
+
+        for (;;) {  // fallback: retry one rung up until native
+            bool failed = false;
+            if (pol.force_fallback_iter == info.iterations && rung != native
+                && !forced_fallback_done) {
+                // Test hook: fail *before* submission, so no partial
+                // charges are discarded and accounting stays exact.
+                forced_fallback_done = true;
+                failed = true;
+            } else {
+                try {
+                    if (rung == native) {
+                        if (w.qr)
+                            qdwh_qr_iter(eng, w.a, w.b, w.c, *cur, *oth, ws,
+                                         mt, nt, opts.structured_qr,
+                                         opts.lookahead);
+                        else
+                            qdwh_chol_iter(eng, w.a, w.b, w.c, *cur, *oth,
+                                           ws, opts.lookahead);
+                    } else {
+                        ensure_shadow();
+                        la::convert_copy(eng, *cur, Scur);
+                        {
+                            // Submission-side mode: captured into every
+                            // task (and batch-group key) this scope emits.
+                            prec::GemmMode const gm =
+                                rung == prec::Prec::Bf16
+                                    ? (pol.compensated
+                                           ? prec::GemmMode::Bf16Comp
+                                           : prec::GemmMode::Bf16)
+                                    : prec::GemmMode::Native;
+                            prec::ScopedGemmMode mode_scope(gm);
+                            if (w.qr)
+                                qdwh_qr_iter(eng, w.a, w.b, w.c, Scur, Soth,
+                                             sws, mt, nt, opts.structured_qr,
+                                             opts.lookahead);
+                            else
+                                qdwh_chol_iter(eng, w.a, w.b, w.c, Scur,
+                                               Soth, sws, opts.lookahead);
+                        }
+                        la::convert_copy(eng, Soth, *oth);
+                    }
+                    conv = la::diff_norm_fro(eng, *oth, *cur);  // syncs
+                    if (!std::isfinite(static_cast<double>(conv))) {
+                        failed = true;
+                        info.kernel_flops_exact = false;
+                    }
+                } catch (Error const&) {
+                    if (rung == native)
+                        throw;  // terminal, mapped by qdwh_status
+                    try {
+                        eng.wait();  // quiesce the poisoned DAG
+                    } catch (...) {
+                    }
+                    failed = true;
+                    info.kernel_flops_exact = false;
+                }
+            }
+            if (!failed)
+                break;
+            if (rung == native)
+                tbp_throw("qdwh: non-finite iterate at native precision");
+            rung = prec::promote(rung, native);
+            ++info.fallbacks;
+        }
+
+        info.rungs.push_back(rung);
+        if (w.qr)
+            ++info.it_qr;
+        else
+            ++info.it_chol;
+        std::swap(cur, oth);
+        ++info.iterations;
+    }
+    if (cur != &A)
+        la::copy(eng, *cur, A);
+    info.conv = static_cast<double>(conv);
+    if (info.iterations >= opts.max_iter
+        && (conv >= tol3 || std::abs(li - 1.0) >= static_cast<double>(tol1))) {
+        eng.wait();
+        info.flops = eng.flops_executed() - flops0;
+        return Status::NotConverged;
+    }
+    info.converged = true;
+
+    // --- Stage 4: H = U_p^H A, always native ------------------------------
+    if (opts.compute_h)
+        qdwh_h_stage(eng, A, Acpy, H, opts.symmetrize_h);
+    eng.wait();
+
+    for (int p = 0; p < prec::kNumPrec; ++p)
+        info.kernel_flops_by_prec[static_cast<std::size_t>(p)] =
+            blas::kernel::flops_performed(static_cast<prec::Prec>(p))
+            - kf0[static_cast<std::size_t>(p)];
+    info.flops = eng.flops_executed() - flops0;
+    return Status::Ok;
+}
+
+}  // namespace detail

@@ -30,6 +30,7 @@
 #include <limits>
 
 #include "core/qdwh.hh"
+#include "core/refine.hh"
 #include "linalg/gemm.hh"
 #include "linalg/util.hh"
 
@@ -45,23 +46,11 @@ struct QdwhMixedInfo {
 namespace detail {
 
 /// Element-wise precision conversion between conforming tiled matrices.
+/// Kept as a thin alias of la::convert_copy (the shared implementation the
+/// precision ladder also uses).
 template <typename TS, typename TD>
 void convert(rt::Engine& eng, TiledMatrix<TS> const& src, TiledMatrix<TD> dst) {
-    tbp_require(src.mt() == dst.mt() && src.nt() == dst.nt());
-    for (int j = 0; j < src.nt(); ++j) {
-        for (int i = 0; i < src.mt(); ++i) {
-            eng.submit("convert",
-                       {rt::read(src.tile_key(i, j)), rt::write(dst.tile_key(i, j))},
-                       [src, dst, i, j] {
-                           auto s = src.tile(i, j);
-                           auto d = dst.tile(i, j);
-                           for (int c = 0; c < s.nb(); ++c)
-                               for (int r = 0; r < s.mb(); ++r)
-                                   d(r, c) = static_cast<TD>(s(r, c));
-                       });
-        }
-    }
-    eng.op_fence();
+    la::convert_copy(eng, src, dst);
 }
 
 }  // namespace detail
@@ -87,33 +76,18 @@ inline QdwhMixedInfo qdwh_mixed(rt::Engine& eng, TiledMatrix<double> A,
     TiledMatrix<float> Hf;  // skipped
     QdwhOptions lo = opts;
     lo.compute_h = false;
+    // The float stage is already the low rung of this driver; never ladder
+    // it a second time (a Bf16/Adaptive request belongs on qdwh() proper).
+    lo.precision = prec::PrecisionPolicy{};
     info.low_precision = qdwh(eng, Af, Hf, lo);
     detail::convert(eng, Af, A);  // A := float-accurate U_p
 
     // 2. Newton-Schulz refinement in double until machine-precision
     //    orthogonality (quadratic: ~2 steps from 1e-6).
-    TiledMatrix<double> G(cols, cols, A.grid());
-    TiledMatrix<double> UG(rows, cols, A.grid());
-    double const eps = std::numeric_limits<double>::epsilon();
-    for (int step = 0; step < 5; ++step) {
-        // G := U^H U; orthogonality check on the fly.
-        la::gemm(eng, Op::ConjTrans, Op::NoTrans, 1.0, A, A, 0.0, G);
-        eng.wait();  // clone() reads tiles directly
-        TiledMatrix<double> Gerr = G.clone();
-        for (std::int64_t i = 0; i < n; ++i)
-            Gerr.at(i, i) -= 1.0;
-        double const orth = la::norm(eng, Norm::Fro, Gerr);
-        if (step == 0)
-            info.orth_before = orth;
-        info.orth_after = orth;
-        if (orth < 10 * eps * std::sqrt(static_cast<double>(n)))
-            break;
-        // U := 1.5 U - 0.5 U G.
-        la::gemm(eng, Op::NoTrans, Op::NoTrans, -0.5, A, G, 0.0, UG);
-        la::add(eng, 1.5, A, 1.0, UG);
-        la::copy(eng, UG, A);
-        ++info.refine_steps;
-    }
+    RefineInfo const r = polar_refine_ns(eng, A, 5);
+    info.refine_steps = r.steps;
+    info.orth_before = r.orth_before;
+    info.orth_after = r.orth_after;
 
     // 3. H = U^H A in double.
     if (opts.compute_h) {

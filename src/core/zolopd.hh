@@ -29,9 +29,12 @@
 
 #include "common/elliptic.hh"
 #include "common/error.hh"
+#include "common/precision.hh"
 #include "common/types.hh"
 #include "cond/condest.hh"
 #include "cond/norm2est.hh"
+#include "core/precision_policy.hh"
+#include "core/refine.hh"
 #include "device/executor.hh"
 #include "linalg/gemm.hh"
 #include "linalg/geqrf.hh"
@@ -62,6 +65,14 @@ struct ZoloOptions {
     int lookahead = 0;
     /// Largest coalesced batch under BatchedHost.
     int max_batch = 32;
+    /// Precision ladder (core/precision_policy.hh). Zolo-PD's whole
+    /// iteration converges in ~2 sweeps, so there is no per-iteration rung
+    /// schedule to exploit: a low-precision request on a double-kind matrix
+    /// runs the *entire* Zolotarev iteration in float (under simulated-bf16
+    /// gemm mode for a Bf16 request) and restores double orthogonality with
+    /// a Newton-Schulz polish, computing H natively. Ignored (native) for
+    /// float-kind scalars.
+    prec::PrecisionPolicy precision;
 };
 
 struct ZoloInfo {
@@ -74,6 +85,11 @@ struct ZoloInfo {
     double condest_l0 = 0;
     double conv = 0;
     double flops = 0;
+
+    // Precision-ladder accounting (defaults describe a native run).
+    bool low_precision = false;  ///< iteration ran on the float rung
+    int refine_steps = 0;        ///< Newton-Schulz polish steps in native
+    double orth_after = 0;       ///< ||I - U^H U||_F after the polish
 };
 
 namespace detail {
@@ -163,6 +179,10 @@ template <typename Ex, typename T>
 Status zolo_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, ZoloInfo& info,
                  ZoloOptions const& opts);
 
+template <typename T>
+Status zolo_ladder_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                        ZoloInfo& info, ZoloOptions const& opts);
+
 }  // namespace detail
 
 /// Status-returning Zolo-PD (same failure contract as qdwh_status):
@@ -179,6 +199,22 @@ Status zolo_pd_status(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
         return Status::InvalidArgument;
     if (opts.r < 1 || opts.max_iter < 1)
         return Status::InvalidArgument;
+
+    if constexpr (std::is_same_v<T, double>
+                  || std::is_same_v<T, std::complex<double>>) {
+        if (prec::ladder_engaged(opts.precision.request,
+                                 prec::native_prec<T>())) {
+            try {
+                return detail::zolo_ladder_impl(eng, A, H, info, opts);
+            } catch (Error const&) {
+                try {
+                    eng.wait();
+                } catch (...) {
+                }
+                return Status::NumericalError;
+            }
+        }
+    }
 
     try {
         if (opts.target == dev::Target::BatchedHost) {
@@ -356,6 +392,56 @@ Status zolo_impl(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> H, ZoloInfo& info,
     }
     eng.wait();
     info.flops = eng.flops_executed() - flops0;
+    return Status::Ok;
+}
+
+/// Low-precision Zolo-PD for double-kind scalars: the whole Zolotarev
+/// iteration runs on the float shadow type (under simulated-bf16 gemm mode
+/// when requested), followed by a native Newton-Schulz orthogonality polish
+/// and a native H = U^H A. See ZoloOptions::precision for the rationale —
+/// Zolo-PD has no per-iteration schedule worth laddering.
+template <typename T>
+Status zolo_ladder_impl(rt::Engine& eng, TiledMatrix<T> A, TiledMatrix<T> H,
+                        ZoloInfo& info, ZoloOptions const& opts) {
+    using S = prec::shadow_t<T>;
+
+    eng.wait();  // clone() reads tiles directly
+    TiledMatrix<T> Acpy = A.clone();
+    TiledMatrix<S> As(A.row_tile_sizes(), A.col_tile_sizes(), A.grid());
+    la::convert_copy(eng, A, As);
+
+    TiledMatrix<S> Hs;  // skipped in the low stage
+    ZoloOptions lo = opts;
+    lo.compute_h = false;
+    lo.precision = prec::PrecisionPolicy{};  // the shadow run is the rung
+    Status s;
+    {
+        prec::ScopedGemmMode mode_scope(
+            opts.precision.request == prec::Precision::Bf16
+                ? (opts.precision.compensated ? prec::GemmMode::Bf16Comp
+                                              : prec::GemmMode::Bf16)
+                : prec::GemmMode::Native);
+        s = zolo_pd_status(eng, As, Hs, info, lo);
+    }
+    if (s != Status::Ok)
+        return s;
+    info.low_precision = true;
+    la::convert_copy(eng, As, A);
+
+    RefineInfo const r = polar_refine_ns(eng, A, 5);
+    info.refine_steps = r.steps;
+    info.orth_after = r.orth_after;
+
+    if (opts.compute_h) {
+        la::gemm(eng, Op::ConjTrans, Op::NoTrans, T(1), A, Acpy, T(0), H);
+        if (opts.symmetrize_h) {
+            TiledMatrix<T> Ht(H.row_tile_sizes(), H.col_tile_sizes(),
+                              A.grid());
+            la::transpose_copy(eng, Op::ConjTrans, H, Ht);
+            la::add(eng, T(0.5), Ht, T(0.5), H);
+        }
+    }
+    eng.wait();
     return Status::Ok;
 }
 

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/precision.hh"
 #include "device/stream.hh"
 #include "perf/machine.hh"
 #include "runtime/engine.hh"
@@ -130,7 +131,8 @@ public:
                         priority, job);
             return;
         }
-        GroupKey const key{name, flops, priority, job, accesses.size()};
+        GroupKey const key{name, flops, priority, job, accesses.size(),
+                           prec::ambient_gemm_mode()};
         if (open_ && !open_->key.matches(key))
             flush();
         if (!open_) {
@@ -173,6 +175,11 @@ public:
             b >= 2 ? std::string("batch_") + g.key.name : g.key.name;
         auto fns = std::make_shared<std::vector<std::function<void()>>>(
             std::move(g.fns));
+        // The flush may run long after submission under a different ambient
+        // mode (e.g. the ladder promoted rungs between open and flush);
+        // re-establish the group's captured mode so the engine tags the
+        // batch task with the precision its members were submitted under.
+        prec::ScopedGemmMode mode_scope(g.key.gemm_mode);
         eng_.submit(name.c_str(), g.flops, std::move(g.accesses),
                     [fns] {
                         for (auto& f : *fns)
@@ -211,6 +218,7 @@ public:
         static constexpr char const* kNames[] = {
             "gemm", "herk",  "tsmqr", "ttmqr", "unmqr",          "trsm_gemm",
             "copy", "scale", "add",   "set",   "transpose_copy", "q2_init",
+            "convert",
         };
         for (char const* n : kNames)
             if (std::strcmp(name, n) == 0)
@@ -227,10 +235,14 @@ private:
         int priority = 0;
         rt::JobId job = rt::kAmbientJob;
         std::size_t arity = 0;  ///< accesses per op
+        // Precision tag: ops submitted under different gemm modes must not
+        // coalesce — the whole batch executes under one exec mode.
+        prec::GemmMode gemm_mode = prec::GemmMode::Native;
 
         bool matches(GroupKey const& o) const {
             return flops == o.flops && priority == o.priority && job == o.job
-                   && arity == o.arity && std::strcmp(name, o.name) == 0;
+                   && arity == o.arity && gemm_mode == o.gemm_mode
+                   && std::strcmp(name, o.name) == 0;
         }
     };
 

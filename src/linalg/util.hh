@@ -35,6 +35,33 @@ void copy(Ex& eng, TiledMatrix<T> A, TiledMatrix<T> B) {
     eng.op_fence();
 }
 
+/// B := A element-wise across precisions (slamge/dlag2s-style), tile-wise;
+/// tilings must match. Used by the mixed-precision paths (qdwh_mixed, the
+/// precision ladder) to move iterates between the native matrices and their
+/// low-precision shadows. Charges no kernel flops: conversion is O(n^2)
+/// traffic, accounted separately by the precision cost model.
+template <typename Ex, typename TS, typename TD>
+void convert_copy(Ex& eng, TiledMatrix<TS> const& src, TiledMatrix<TD> dst) {
+    tbp_require(src.mt() == dst.mt() && src.nt() == dst.nt());
+    for (int j = 0; j < src.nt(); ++j) {
+        for (int i = 0; i < src.mt(); ++i) {
+            tbp_require(src.tile_mb(i) == dst.tile_mb(i)
+                        && src.tile_nb(j) == dst.tile_nb(j));
+            eng.submit("convert",
+                       {rt::read(src.tile_key(i, j)),
+                        rt::write(dst.tile_key(i, j))},
+                       [src, dst, i, j] {
+                           auto s = src.tile(i, j);
+                           auto d = dst.tile(i, j);
+                           for (int c = 0; c < s.nb(); ++c)
+                               for (int r = 0; r < s.mb(); ++r)
+                                   d(r, c) = static_cast<TD>(s(r, c));
+                       });
+        }
+    }
+    eng.op_fence();
+}
+
 /// B := op(A) with op in {Trans, ConjTrans}; B must be A.n-by-A.m with the
 /// transposed tiling.
 template <typename Ex, typename T>

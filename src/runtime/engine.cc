@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "common/precision.hh"
 #include "common/timer.hh"
 
 namespace tbp::rt {
@@ -15,6 +16,10 @@ struct Engine::Task {
     std::uint64_t id = 0;
     JobId job = kAmbientJob;
     std::uint64_t ops = 1;
+    // Gemm mode captured from the submitting thread's ambient slot, so a
+    // worker (or a later batch flush) executes the body under the precision
+    // the algorithm layer requested at submission (see common/precision.hh).
+    prec::GemmMode gemm_mode = prec::GemmMode::Native;
     std::vector<std::uint64_t> dep_ids;
 
     // Scheduling state.
@@ -78,8 +83,12 @@ void Engine::submit(char const* name, double flops,
                     int priority, JobId job, std::uint64_t ops) {
     if (mode_ == Mode::Sequential) {
         double const t0 = wall_time();
-        if (!job_poisoned(job))
+        if (!job_poisoned(job)) {
+            // Inline execution still routes the ambient gemm mode through
+            // the exec slot so kernels behave identically to worker threads.
+            prec::ExecModeScope mode_scope(prec::ambient_gemm_mode());
             fn();  // exceptions propagate straight to the (inline) caller
+        }
         double const t1 = wall_time();
         tasks_executed_.fetch_add(1, std::memory_order_relaxed);
         tile_ops_executed_.fetch_add(ops, std::memory_order_relaxed);
@@ -102,6 +111,7 @@ void Engine::submit(char const* name, double flops,
     t->priority = priority;
     t->job = job;
     t->ops = ops;
+    t->gemm_mode = prec::ambient_gemm_mode();
     t->id = next_id_++;
 
     // Derive dependencies superscalar-style from the access list. A task
@@ -328,6 +338,7 @@ void Engine::run_task(Task* t, int worker_id, bool stolen) {
     // not abort its siblings. The common no-error case costs one relaxed
     // atomic load (poisoned_jobs_ == 0 skips the map lookup).
     if (!job_poisoned(t->job)) {
+        prec::ExecModeScope mode_scope(t->gemm_mode);
         try {
             t->fn();
         } catch (...) {

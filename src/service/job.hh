@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/error.hh"
+#include "core/precision_policy.hh"
 #include "fault/fault_plan.hh"
 
 namespace tbp::svc {
@@ -73,6 +74,30 @@ inline char const* job_target_name(JobTarget t) {
     return "unknown";
 }
 
+/// Per-job precision request. Auto resolves from the QoS class: Bulk jobs
+/// run the adaptive ladder (throughput — the schedule is deterministic per
+/// spec, so batch outputs stay bit-reproducible), Latency jobs stay native
+/// (no conversion sweeps on the time-to-first-result path). The rest force
+/// one prec::Precision regardless of class.
+enum class JobPrec {
+    Auto,      ///< Bulk -> Adaptive, Latency -> Native
+    Native,    ///< every iteration in the job's scalar type
+    Float,     ///< float rung + native tail (double-kind jobs)
+    Bf16,      ///< simulated-bf16 rung + native tail
+    Adaptive,  ///< condition-driven per-iteration rung schedule
+};
+
+inline char const* job_prec_name(JobPrec p) {
+    switch (p) {
+        case JobPrec::Auto: return "auto";
+        case JobPrec::Native: return "native";
+        case JobPrec::Float: return "float";
+        case JobPrec::Bf16: return "bf16";
+        case JobPrec::Adaptive: return "adaptive";
+    }
+    return "unknown";
+}
+
 struct JobSpec {
     JobKind kind = JobKind::Qdwh;
     JobClass cls = JobClass::Bulk;
@@ -90,6 +115,10 @@ struct JobSpec {
     /// Execution target; Auto routes Bulk jobs onto the batched executor.
     JobTarget target = JobTarget::Auto;
     int lookahead = 0;  ///< panel lookahead depth of the QR/Cholesky solves
+    /// Precision ladder request; Auto routes Bulk jobs onto the adaptive
+    /// ladder (qdwh/zolopd kinds only; the direct factorizations and the
+    /// distributed kind run native).
+    JobPrec precision = JobPrec::Auto;
 
     // --- DistQdwh / resilience fields (inert for the local kinds) ---------
     int ranks = 0;  ///< virtual ranks of a DistQdwh job; 0 = default (4)
@@ -104,11 +133,41 @@ struct JobSpec {
     int max_attempts = 0;
 };
 
-/// Resolve a job's effective target from its override and QoS class.
+/// Resolve a job's effective target from its override, QoS class, and tile
+/// count. The batched executor earns its keep by coalescing many same-shape
+/// tile ops into one engine task; a job with only a handful of tiles has
+/// too few same-shape ops per flush window to amortize the collector's
+/// group-key bookkeeping, which then sits on the critical path (measured
+/// 0.74-0.88x jobs/sec on the <= 6-tile service throughput mix, native and
+/// adaptive precision alike). Jobs under kBatchedMinTiles stay on plain
+/// tasks even for Bulk — an explicit JobTarget::Batched override still
+/// forces the executor.
+inline constexpr std::int64_t kBatchedMinTiles = 9;
+
 inline JobTarget resolve_target(JobSpec const& spec) {
     if (spec.target != JobTarget::Auto)
         return spec.target;
+    std::int64_t const rows = spec.kind == JobKind::Posv ? spec.n : spec.m;
+    std::int64_t const mt = (rows + spec.nb - 1) / spec.nb;
+    std::int64_t const nt = (spec.n + spec.nb - 1) / spec.nb;
+    if (mt * nt < kBatchedMinTiles)
+        return JobTarget::Tasks;
     return spec.cls == JobClass::Bulk ? JobTarget::Batched : JobTarget::Tasks;
+}
+
+/// Resolve a job's effective precision request from its override and QoS
+/// class (see JobPrec).
+inline prec::Precision resolve_precision(JobSpec const& spec) {
+    switch (spec.precision) {
+        case JobPrec::Auto:
+            return spec.cls == JobClass::Bulk ? prec::Precision::Adaptive
+                                              : prec::Precision::Native;
+        case JobPrec::Native: return prec::Precision::Native;
+        case JobPrec::Float: return prec::Precision::Float;
+        case JobPrec::Bf16: return prec::Precision::Bf16;
+        case JobPrec::Adaptive: return prec::Precision::Adaptive;
+    }
+    return prec::Precision::Native;
 }
 
 struct JobResult {

@@ -77,17 +77,35 @@ inline Status validate(JobSpec const& spec) {
 
 namespace detail {
 
+/// Whether to actually wrap a job in the batched executor. The collector
+/// earns its keep by relieving scheduler pressure on a parallel engine; on
+/// a sequential engine (the service's private per-job engines) there is no
+/// pressure to relieve and its group-key bookkeeping sits directly on the
+/// critical path — measured 0.74-0.88x jobs/sec on the throughput mix even
+/// at 36 tiles. So Auto engages the executor only when the spec resolves
+/// Batched AND the engine is parallel; an explicit JobTarget::Batched
+/// override still always forces it.
+inline bool use_batched_exec(JobSpec const& spec, rt::Engine const& eng) {
+    if (spec.target == JobTarget::Batched)
+        return true;
+    return resolve_target(spec) == JobTarget::Batched
+           && eng.num_threads() > 1;
+}
+
 /// Run `body(ex)` on the engine or on a batched executor wrapping it,
 /// per the spec's resolved target (Bulk jobs default to batched). Used by
 /// the providers without a status-returning solver dispatch of their own
 /// (posv, geqrf); qdwh/zolopd route through their options instead.
 template <typename T, typename Body>
 void with_exec(rt::Engine& eng, JobSpec const& spec, Body&& body) {
-    if (resolve_target(spec) == JobTarget::Batched) {
+    if (use_batched_exec(spec, eng)) {
         dev::ExecOptions eo;
         eo.target = dev::Target::BatchedHost;
         eo.tile_bytes = static_cast<std::size_t>(spec.nb)
                         * static_cast<std::size_t>(spec.nb) * sizeof(T);
+        // Service jobs run on private sequential engines; the stream-overlap
+        // model would only add bookkeeping latency with nothing to overlap.
+        eo.model_streams = false;
         dev::Executor ex(eng, eo);
         body(ex);
         ex.wait();
@@ -121,9 +139,11 @@ void run_qdwh(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
     QdwhOptions qo;
     if (spec.max_iter > 0)
         qo.max_iter = spec.max_iter;
-    if (resolve_target(spec) == JobTarget::Batched)
+    if (detail::use_batched_exec(spec, eng))
         qo.target = dev::Target::BatchedHost;
     qo.lookahead = spec.lookahead;
+    qo.model_streams = false;  // private sequential engine: nothing overlaps
+    qo.precision.request = resolve_precision(spec);
     QdwhInfo info;
     Status const s = qdwh_status(eng, A, H, info, qo);
     res.status = s;
@@ -153,9 +173,10 @@ void run_zolopd(rt::Engine& eng, JobSpec const& spec, Workspace& ws,
         zo.max_iter = spec.max_iter;
     if (spec.r > 0)
         zo.r = spec.r;
-    if (resolve_target(spec) == JobTarget::Batched)
+    if (detail::use_batched_exec(spec, eng))
         zo.target = dev::Target::BatchedHost;
     zo.lookahead = spec.lookahead;
+    zo.precision.request = resolve_precision(spec);
     ZoloInfo info;
     Status const s = zolo_pd_status(eng, A, H, info, zo);
     res.status = s;

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate bench JSON documents (bench_util.hh JsonEmitter output).
+
+Usage: check_bench_json.py FILE [FILE...]
+
+The benches emit self-judging records: boolean fields that assert a
+cross-check held (``model_match``, ``*_model_match``, ``*_ok``) and
+counter fields that must be zero for a clean run (``oracle_mismatches``,
+``*_mismatches``). This script fails (exit 1) if any such field in any
+record carries a failing value, or if a document is unreadable or holds
+no records — so a bench that silently emitted nothing cannot pass.
+
+Wired into ctest next to each JSON-emitting smoke target; also usable by
+hand on a BENCH_*.json produced by a full (non-smoke) run.
+"""
+
+import json
+import sys
+
+
+def check_record(path, idx, rec):
+    """Return a list of failure strings for one flat record."""
+    failures = []
+    for key, val in rec.items():
+        if key == "model_match" or key.endswith("_model_match") or key.endswith("_ok"):
+            if val is not True:
+                failures.append(f"{path}: records[{idx}].{key} = {val!r} (expected true)")
+        elif key == "oracle_mismatches" or key.endswith("_mismatches"):
+            if val != 0:
+                failures.append(f"{path}: records[{idx}].{key} = {val!r} (expected 0)")
+    return failures
+
+
+def check_file(path):
+    failures = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable: {e}"]
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        return [f"{path}: no records"]
+    for idx, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            failures.append(f"{path}: records[{idx}] is not an object")
+            continue
+        failures.extend(check_record(path, idx, rec))
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    checked = 0
+    for path in argv[1:]:
+        failures.extend(check_file(path))
+        checked += 1
+    for f in failures:
+        print(f"check_bench_json: FAIL {f}")
+    if not failures:
+        print(f"check_bench_json: OK ({checked} file(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,11 +12,13 @@
 //
 // Examples:
 //   tbp_driver --algo qdwh --n 512 --cond 1e16
+//   tbp_driver --algo qdwh --n 512 --cond 1e12 --precision adaptive
 //   tbp_driver --algo zolo --n 256 --r 8 --type z
 //   tbp_driver --algo qdwh --n 384 --mode forkjoin   # ScaLAPACK-style run
 //   tbp_driver --algo serve --jobs 200 --n 64 --nb 32  # batched service
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <complex>
@@ -74,6 +76,11 @@ struct Args {
     bool target_set = false;   // --target given (serve: Auto when unset)
     int lookahead = 0;         // panel lookahead depth (geqrf/potrf)
     int max_batch = 32;        // largest coalesced batch under --target batched
+    // --- precision ladder (qdwh, zolo) ------------------------------------
+    prec::Precision precision = prec::Precision::Native;  // --precision
+    double rung_safety = 0;    // --rung-safety (0 = policy default)
+    int tail_native = -1;      // --tail-native (-1 = policy default)
+    bool compensated = false;  // --compensated bf16 accumulation
     // --- fault plane (dqdwh, serve) ---------------------------------------
     std::string fault_plan = "off";  // off|drop|delay|dup|corrupt|slow|poison|mix
     std::uint64_t fault_seed = 1;    // chaos seed (replayable)
@@ -121,6 +128,9 @@ fault::RetryConfig make_retry_config(Args const& a) {
                  "          [--jobs J] [--rate JOBS_PER_SEC] [--fifo]\n"
                  "          [--target tasks|batched] [--lookahead D] "
                  "[--max-batch B]\n"
+                 "          [--precision double|float|bf16|adaptive] "
+                 "[--rung-safety S]\n"
+                 "          [--tail-native K] [--compensated]\n"
                  "\n"
                  "  --target batched coalesces same-shape tile ops into "
                  "batched engine\n"
@@ -128,6 +138,18 @@ fault::RetryConfig make_retry_config(Args const& a) {
                  "per-tile oracle.\n"
                  "  --lookahead D prioritizes trailing updates feeding the "
                  "next D panels.\n"
+                 "  --precision puts qdwh/zolo on the precision ladder: "
+                 "'adaptive' picks\n"
+                 "  simulated-bf16 / float / native per iteration from the "
+                 "l_k recurrence\n"
+                 "  (condition-driven), 'float'/'bf16' force every "
+                 "non-tail iteration onto\n"
+                 "  that rung; --rung-safety S tightens/loosens the "
+                 "admissibility bound\n"
+                 "  u <= S * l_{k+1}, --tail-native K forces the last K "
+                 "iterations native,\n"
+                 "  --compensated turns on the 3-pass compensated bf16 "
+                 "accumulation.\n"
                  "  --algo dqdwh runs the distributed QDWH over P virtual "
                  "ranks.\n"
                  "  --algo serve runs a mixed qdwh/zolo/posv/geqrf batch of "
@@ -237,6 +259,26 @@ Args parse(int argc, char** argv) {
             a.lookahead = std::atoi(need("--lookahead"));
         } else if (!std::strcmp(argv[i], "--max-batch")) {
             a.max_batch = std::atoi(need("--max-batch"));
+        } else if (!std::strcmp(argv[i], "--precision")) {
+            std::string p = need("--precision");
+            if (p == "native" || p == "double") {
+                a.precision = prec::Precision::Native;
+            } else if (p == "float") {
+                a.precision = prec::Precision::Float;
+            } else if (p == "bf16") {
+                a.precision = prec::Precision::Bf16;
+            } else if (p == "adaptive") {
+                a.precision = prec::Precision::Adaptive;
+            } else {
+                std::fprintf(stderr, "unknown --precision %s\n", p.c_str());
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(argv[i], "--rung-safety")) {
+            a.rung_safety = std::atof(need("--rung-safety"));
+        } else if (!std::strcmp(argv[i], "--tail-native")) {
+            a.tail_native = std::atoi(need("--tail-native"));
+        } else if (!std::strcmp(argv[i], "--compensated")) {
+            a.compensated = true;
         } else if (!std::strcmp(argv[i], "--comm")) {
             a.comm = need("--comm");
             if (a.comm != "engine" && a.comm != "legacy" && a.comm != "ring") {
@@ -301,6 +343,17 @@ Args parse(int argc, char** argv) {
     return a;
 }
 
+prec::PrecisionPolicy make_policy(Args const& a) {
+    prec::PrecisionPolicy pol;
+    pol.request = a.precision;
+    if (a.rung_safety > 0)
+        pol.rung_safety = a.rung_safety;
+    if (a.tail_native >= 0)
+        pol.tail_native = a.tail_native;
+    pol.compensated = a.compensated;
+    return pol;
+}
+
 template <typename T>
 int run_tiled(Args const& a) {
     rt::Engine eng(a.threads, a.mode, a.sched);
@@ -323,11 +376,15 @@ int run_tiled(Args const& a) {
 
     std::uint64_t batch_ops = 0, batch_tasks = 0;
     double coalescing = 0, stream_h2d = 0, stream_overlap = 0;
+    std::vector<prec::Prec> rungs;
+    std::array<double, prec::kNumPrec> prec_flops{};
+    int fallbacks = 0;
     if (a.algo == "qdwh") {
         QdwhOptions qo;
         qo.target = a.target;
         qo.lookahead = a.lookahead;
         qo.max_batch = a.max_batch;
+        qo.precision = make_policy(a);
         auto info = qdwh(eng, A, H, qo);
         iters = info.iterations;
         it_qr = info.it_qr;
@@ -338,12 +395,16 @@ int run_tiled(Args const& a) {
         coalescing = info.coalescing;
         stream_h2d = info.stream_h2d_bytes;
         stream_overlap = info.stream_overlap;
+        rungs = info.rungs;
+        prec_flops = info.kernel_flops_by_prec;
+        fallbacks = info.fallbacks;
     } else if (a.algo == "zolo") {
         ZoloOptions zo;
         zo.r = a.r;
         zo.target = a.target;
         zo.lookahead = a.lookahead;
         zo.max_batch = a.max_batch;
+        zo.precision = make_policy(a);
         auto info = zolo_pd(eng, A, H, zo);
         iters = info.iterations;
         it_qr = info.qr_solves;
@@ -399,6 +460,22 @@ int run_tiled(Args const& a) {
     std::printf("  iterations %d (qr/solves %d, chol %d)   time %.3fs   "
                 "%.2f Gflop/s\n",
                 iters, it_qr, it_chol, secs, flops / secs / 1e9);
+    if (a.precision != prec::Precision::Native && !rungs.empty()) {
+        std::string sched;
+        for (auto r : rungs) {
+            if (!sched.empty())
+                sched += ",";
+            sched += prec::prec_name(r);
+        }
+        std::printf("  precision ladder: %s   rungs %s   fallbacks %d\n",
+                    prec::precision_name(a.precision), sched.c_str(),
+                    fallbacks);
+        std::printf("  kernel flops by rung: double %.3e  float %.3e  "
+                    "bf16 %.3e\n",
+                    prec_flops[static_cast<std::size_t>(prec::Prec::Double)],
+                    prec_flops[static_cast<std::size_t>(prec::Prec::Float)],
+                    prec_flops[static_cast<std::size_t>(prec::Prec::Bf16)]);
+    }
     std::printf("  kernel flops %.3e   achieved %.2f Gflop/s (measured)\n",
                 kflops, secs > 0 ? kflops / secs / 1e9 : 0.0);
     std::printf("  ||I-U'U||/sqrt(n) = %.3e   ||A-UH||/||A|| = %.3e\n", orth,
